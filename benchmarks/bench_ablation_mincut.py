@@ -1,0 +1,69 @@
+"""Ablation — Algorithm 1's O(n) scan vs a DADS-style min-cut (§III-D).
+
+The paper rejects min-cut solvers for dynamic decisions because of their
+O(n^3)-ish cost.  This benchmark measures both on the same inputs and
+verifies the linear scan loses (almost) nothing in solution quality.
+"""
+
+import pytest
+
+from repro.core.baselines import dads_min_cut
+from repro.core.engine import LoADPartEngine
+from repro.experiments.reporting import render_table
+from repro.models import build_model
+
+MODELS = ("alexnet", "squeezenet", "resnet18")
+
+
+@pytest.fixture(scope="module")
+def engines(trained_report):
+    return {
+        m: LoADPartEngine(build_model(m), trained_report.user_predictor,
+                          trained_report.edge_predictor)
+        for m in MODELS
+    }
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_algorithm1_speed(benchmark, engines, model):
+    engine = engines[model]
+    benchmark(engine.decide, 8e6, 2.0)
+
+
+@pytest.mark.parametrize("model", MODELS)
+def test_mincut_speed(benchmark, engines, model):
+    engine = engines[model]
+    result = benchmark.pedantic(
+        dads_min_cut,
+        args=(engine.graph, list(engine.device_times), list(engine.edge_times), 8e6),
+        kwargs={"k": 2.0},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.latency > 0
+
+
+def test_solution_quality_gap(benchmark, engines, save_report):
+    """The linear scan is within a few percent of the general optimum."""
+
+    def compute():
+        rows = []
+        for model, engine in engines.items():
+            for bw in (2e6, 8e6, 32e6):
+                scan = engine.decide(bw, k=2.0).predicted_latency
+                cut = dads_min_cut(
+                    engine.graph, list(engine.device_times),
+                    list(engine.edge_times), bw, k=2.0,
+                ).latency
+                rows.append((model, f"{bw / 1e6:g}", f"{scan * 1e3:.1f}",
+                             f"{cut * 1e3:.1f}", f"{(scan / cut - 1) * 100:.2f}%"))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report(
+        "ablation_mincut",
+        render_table(["model", "Mbps", "Alg.1 (ms)", "min-cut (ms)", "gap"], rows),
+    )
+    for row in rows:
+        gap = float(row[4].rstrip("%"))
+        assert gap < 5.0, f"linear scan lost too much: {row}"

@@ -1,0 +1,42 @@
+"""Micro-benchmark: Algorithm 1 decision latency.
+
+The paper's argument for the linear scan is that it is cheap enough to
+re-run per request on a resource-constrained device.  These benchmarks
+measure the actual decision latency on the largest zoo graphs.
+"""
+
+import pytest
+
+from repro.core.engine import LoADPartEngine
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module", params=["alexnet", "resnet50", "resnet152"])
+def engine(request, trained_report):
+    return LoADPartEngine(
+        build_model(request.param),
+        trained_report.user_predictor,
+        trained_report.edge_predictor,
+    )
+
+
+def test_decision_latency(benchmark, engine):
+    """One O(n) decision with precomputed prefix/suffix arrays."""
+    decision = benchmark(engine.decide, 8e6, 3.0)
+    assert 0 <= decision.point <= engine.num_nodes
+    # Fast enough for per-request use even on a weak device: the paper's
+    # whole point.  (Generous bound; typical is tens of microseconds.)
+    assert benchmark.stats["mean"] < 2e-3
+
+
+def test_engine_construction_latency(benchmark, trained_report):
+    """Engine setup (predictions + prefix/suffix) happens once per model."""
+    graph = build_model("resnet152")
+
+    result = benchmark.pedantic(
+        LoADPartEngine,
+        args=(graph, trained_report.user_predictor, trained_report.edge_predictor),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_nodes == 516

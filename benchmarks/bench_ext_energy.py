@@ -1,0 +1,71 @@
+"""Extension — energy-aware partitioning (Neurosurgeon's other objective).
+
+Not a paper figure: compares the partition points and costs of the
+latency-optimal, energy-optimal and weighted objectives on the same
+prediction models, using the O(n) scan for all three.
+"""
+
+import pytest
+
+from repro.core.engine import LoADPartEngine
+from repro.experiments.reporting import render_table
+from repro.hardware.energy import EnergyParams, energy_decision, energy_of_partition, weighted_decision
+from repro.models import build_model
+
+MODELS = ("alexnet", "squeezenet", "resnet18")
+
+
+@pytest.fixture(scope="module")
+def engines(trained_report):
+    return {
+        m: LoADPartEngine(build_model(m), trained_report.user_predictor,
+                          trained_report.edge_predictor)
+        for m in MODELS
+    }
+
+
+def test_energy_decision_speed(benchmark, engines):
+    e = engines["alexnet"]
+    decision = benchmark(
+        energy_decision, list(e.device_times), list(e.edge_times), list(e.sizes), 8e6
+    )
+    assert 0 <= decision.point <= e.num_nodes
+
+
+def test_objective_comparison(benchmark, engines, save_report):
+    params = EnergyParams()
+
+    def compute():
+        rows = []
+        for model, e in engines.items():
+            device, edge, sizes = list(e.device_times), list(e.edge_times), list(e.sizes)
+            for bw in (4e6, 8e6, 32e6):
+                lat = e.decide(bw)
+                en = energy_decision(device, edge, sizes, bw, params=params)
+                mix = weighted_decision(device, edge, sizes, bw, energy_weight=0.5,
+                                        params=params)
+                lat_energy = energy_of_partition(lat.point, device, edge, sizes, bw,
+                                                 params=params)
+                en_energy = energy_of_partition(en.point, device, edge, sizes, bw,
+                                                params=params)
+                rows.append(
+                    (model, f"{bw / 1e6:g}",
+                     lat.point, f"{lat_energy:.2f}",
+                     en.point, f"{en_energy:.2f}",
+                     mix.point)
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report(
+        "ext_energy",
+        render_table(
+            ["model", "Mbps", "latency-opt p", "its energy (J)",
+             "energy-opt p", "min energy (J)", "weighted p"],
+            rows,
+        ),
+    )
+    for row in rows:
+        # The energy-optimal point never costs more energy than the
+        # latency-optimal one.
+        assert float(row[5]) <= float(row[3]) + 1e-9

@@ -1,0 +1,89 @@
+"""Extension — three-tier (device/edge/cloud) partitioning.
+
+Not a paper figure: extends Algorithm 1 to the AAIoT-style chain the
+paper cites, with an O(n) two-cut scan.  Benchmarks the scan against the
+O(n^2) brute force and reports where the three tiers split the 6 DNNs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import LoADPartEngine
+from repro.core.multi_tier import multi_tier_brute_force, multi_tier_decision
+from repro.experiments.reporting import render_table
+from repro.models import EVALUATED_MODELS, build_model
+
+#: The cloud tier: an A100-class box reachable over a metro link.
+CLOUD_SPEEDUP = 3.0
+B_DEVICE_EDGE = 8e6
+B_EDGE_CLOUD = 200e6
+
+
+@pytest.fixture(scope="module")
+def instances(trained_report):
+    out = {}
+    for model in EVALUATED_MODELS:
+        e = LoADPartEngine(build_model(model), trained_report.user_predictor,
+                           trained_report.edge_predictor)
+        cloud = (np.asarray(e.edge_times) / CLOUD_SPEEDUP).tolist()
+        out[model] = (list(e.device_times), list(e.edge_times), cloud,
+                      list(e.sizes), e)
+    return out
+
+
+def test_two_cut_scan_speed(benchmark, instances):
+    device, edge, cloud, sizes, _e = instances["resnet50"]
+    decision = benchmark(
+        multi_tier_decision, device, edge, cloud, sizes, B_DEVICE_EDGE, B_EDGE_CLOUD
+    )
+    assert decision.predicted_latency > 0
+
+
+def test_brute_force_speed(benchmark, instances):
+    device, edge, cloud, sizes, _e = instances["resnet50"]
+    benchmark.pedantic(
+        multi_tier_brute_force,
+        args=(device, edge, cloud, sizes, B_DEVICE_EDGE, B_EDGE_CLOUD),
+        rounds=2, iterations=1,
+    )
+
+
+def test_three_tier_placements(benchmark, instances, save_report):
+    def compute():
+        rows = []
+        for model, (device, edge, cloud, sizes, engine) in instances.items():
+            for k_edge, label in ((1.0, "idle edge"), (20.0, "busy edge")):
+                three = multi_tier_decision(device, edge, cloud, sizes,
+                                            B_DEVICE_EDGE, B_EDGE_CLOUD,
+                                            k_edge=k_edge)
+                brute = multi_tier_brute_force(device, edge, cloud, sizes,
+                                               B_DEVICE_EDGE, B_EDGE_CLOUD,
+                                               k_edge=k_edge)
+                two = engine.decide(B_DEVICE_EDGE, k=k_edge)
+                rows.append(
+                    (model, label,
+                     f"{three.device_nodes}/{three.edge_nodes}/{three.cloud_nodes}",
+                     f"{three.predicted_latency * 1e3:.0f}",
+                     f"{two.predicted_latency * 1e3:.0f}",
+                     f"{(1 - three.predicted_latency / two.predicted_latency) * 100:.1f}%",
+                     "yes" if abs(three.predicted_latency - brute.predicted_latency) < 1e-9
+                     else "NO")
+                )
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    save_report(
+        "ext_multitier",
+        render_table(
+            ["model", "edge load", "device/edge/cloud nodes", "3-tier ms",
+             "2-tier ms", "gain", "matches brute force"],
+            rows,
+        ),
+    )
+    for row in rows:
+        assert row[6] == "yes"
+        # Adding a tier can only help (the 2-tier placements are a subset).
+        assert float(row[5].rstrip("%")) >= -1e-6
+    # Under a busy edge, at least some models escalate work to the cloud.
+    busy = [r for r in rows if r[1] == "busy edge"]
+    assert any(int(r[2].split("/")[2]) > 0 for r in busy)

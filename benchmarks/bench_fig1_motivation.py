@@ -1,0 +1,20 @@
+"""Fig. 1 — AlexNet latency per partition point at 8 Mbps.
+
+Regenerates the stacked-bar data and asserts the paper's two headline
+reads: the best point beats full offloading by a large factor and local
+inference by tens of percent.
+"""
+
+from repro.experiments import fig1
+
+
+def test_fig1_motivation(benchmark, save_report):
+    result = benchmark.pedantic(fig1.run_fig1, rounds=3, iterations=1)
+    save_report("fig1_motivation", fig1.format_fig1(result))
+
+    n = len(result.rows) - 1
+    assert 0 < result.best.point < n, "best point must be a partial offload"
+    assert result.speedup_vs_full > 2.0, "paper: up to ~4x vs full offloading"
+    assert result.speedup_vs_local > 1.15, "paper: ~30% vs local inference"
+    # The best cut is right after a pooling layer, as in the paper.
+    assert "maxpool" in result.best.label

@@ -1,0 +1,24 @@
+"""Fig. 2 — end-to-end latency distributions under background GPU load.
+
+AlexNet/VGG16/ResNet101 fully offloaded at 8 Mbps under 30%..100%(h)
+background load, 1000 samples per level as in the paper.
+"""
+
+from repro.experiments import fig2
+
+
+def test_fig2_load_levels(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig2.run_fig2, kwargs={"samples": 1000, "seed": 0}, rounds=1, iterations=1
+    )
+    save_report("fig2_load_levels", fig2.format_fig2(result))
+
+    for model, stats in result.stats.items():
+        by_name = {s.level: s for s in stats}
+        # Averages flat below 50% utilisation.
+        assert by_name["50%"].mean_s < 1.02 * by_name["0%"].mean_s, model
+        # Rising mean above 90%.
+        assert by_name["100%(l)"].mean_s > by_name["90%"].mean_s > by_name["50%"].mean_s
+        # 100%(h) far worse and far noisier than 100%(l), same utilisation.
+        assert by_name["100%(h)"].mean_s > 1.15 * by_name["100%(l)"].mean_s
+        assert by_name["100%(h)"].std_s > 3 * by_name["100%(l)"].std_s

@@ -1,0 +1,39 @@
+"""Fig. 6 — partition points of the 6 DNNs over the bandwidth sweep."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_bandwidth_sweep(benchmark, save_report):
+    result = benchmark.pedantic(fig6.run_fig6, rounds=1, iterations=1)
+    save_report("fig6_bandwidth_sweep", fig6.format_fig6(result))
+
+    def points(model):
+        return {s.bandwidth_mbps: s.dominant_point for s in result.per_model[model][:4]} | {
+            s.bandwidth_mbps: s.dominant_point for s in result.per_model[model][4:]
+        }
+
+    n = result.num_nodes
+
+    # AlexNet: early points at high bandwidth, local at <= 2 Mbps (paper).
+    alex = {s.bandwidth_mbps: s.dominant_point for s in result.per_model["alexnet"]}
+    assert alex[64] <= 8
+    assert alex[1] == n["alexnet"]
+
+    # SqueezeNet: partial at 8 Mbps, local at low bandwidth (paper: 4 Mbps).
+    sq = {s.bandwidth_mbps: s.dominant_point for s in result.per_model["squeezenet"]}
+    assert 0 < sq[8] < n["squeezenet"]
+    assert sq[1] == n["squeezenet"]
+
+    # VGG16: full offloading at every bandwidth, even 1 Mbps (paper §V-B).
+    assert all(s.dominant_point == 0 for s in result.per_model["vgg16"])
+
+    # ResNet18: local at low bandwidth, full at high (paper §V-B).
+    r18 = {s.bandwidth_mbps: s.dominant_point for s in result.per_model["resnet18"]}
+    assert r18[1] == n["resnet18"] and r18[8] == n["resnet18"]
+    assert r18[64] == 0
+
+    # ResNet50 / Xception: local at very low bandwidth, full otherwise.
+    for model in ("resnet50", "xception"):
+        pts = {s.bandwidth_mbps: s.dominant_point for s in result.per_model[model]}
+        assert pts[1] == n[model]
+        assert pts[64] == 0

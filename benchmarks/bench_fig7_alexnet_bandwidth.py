@@ -1,0 +1,21 @@
+"""Fig. 7 — AlexNet: LoADPart vs local vs full offloading per bandwidth."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_alexnet(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig7.run_fig7, kwargs={"requests": 60, "seed": 0}, rounds=1, iterations=1
+    )
+    save_report("fig7_alexnet_bandwidth", fig7.format_fig7(result))
+
+    # LoADPart never loses to either trivial policy (within noise).
+    for row in result.rows:
+        assert row.loadpart_s <= 1.08 * min(row.local_s, row.full_s)
+    # Paper shape: large speedups vs full offloading at low bandwidth
+    # (paper: 6.96x mean, 21.98x max) and solid gains vs local at high
+    # bandwidth (paper: 1.75x mean, 3.37x max).
+    assert result.max_speedup_vs_full > 5.0
+    assert result.mean_speedup_vs_full > 2.0
+    assert result.max_speedup_vs_local > 2.0
+    assert result.mean_speedup_vs_local > 1.2

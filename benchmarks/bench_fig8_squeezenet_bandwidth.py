@@ -1,0 +1,21 @@
+"""Fig. 8 — SqueezeNet: LoADPart vs local vs full offloading per bandwidth."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_squeezenet(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig8.run_fig8, kwargs={"requests": 60, "seed": 0}, rounds=1, iterations=1
+    )
+    save_report("fig8_squeezenet_bandwidth", fig8.format_fig8(result))
+
+    for row in result.rows:
+        assert row.loadpart_s <= 1.08 * min(row.local_s, row.full_s)
+    # Paper: 7.05x mean / 23.93x max vs full, 1.41x / 2.53x vs local.
+    assert result.max_speedup_vs_full > 5.0
+    assert result.mean_speedup_vs_full > 2.0
+    assert result.max_speedup_vs_local > 1.5
+    assert result.mean_speedup_vs_local > 1.05
+    # At 8 Mbps LoADPart uses a genuine mid-network partition point.
+    mid = next(r for r in result.rows if r.bandwidth_mbps == 8)
+    assert 0 < mid.loadpart_point < 92

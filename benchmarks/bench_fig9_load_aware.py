@@ -1,0 +1,44 @@
+"""Fig. 9 — the headline experiment: LoADPart vs Neurosurgeon under load.
+
+All six DNNs at 8 Mbps through the 0% -> 100%(l) -> 100%(h) -> 0% load
+schedule.  Paper: AlexNet -4.95% mean / -39.4% max; SqueezeNet -14.2% /
+-32.3%; VGG16/Xception/ResNet18 unchanged; ResNet50 close to baseline.
+"""
+
+from repro.experiments import fig9
+
+
+def test_fig9_load_aware(benchmark, save_report):
+    result = benchmark.pedantic(
+        fig9.run_fig9, kwargs={"duration_s": 260.0, "seed": 0}, rounds=1, iterations=1
+    )
+    save_report("fig9_load_aware", fig9.format_fig9(result))
+
+    per = result.per_model
+
+    # SqueezeNet: the paper's strongest case (mean -14.2%, max -32.3%).
+    assert per["squeezenet"].mean_reduction > 0.05
+    assert per["squeezenet"].max_window_reduction > 0.20
+    # The partition point oscillates: mid-network when idle, local under
+    # 100%(h), and back after the watchdog notices the recovery.
+    n_sq = 92
+    assert any(p < n_sq for p in per["squeezenet"].loadpart_points)
+    assert n_sq in per["squeezenet"].loadpart_points
+
+    # AlexNet: modest mean gain, large transient gains (paper 4.95%/39.4%).
+    assert per["alexnet"].mean_reduction > 0.0
+    assert per["alexnet"].max_window_reduction > 0.10
+
+    # VGG16 and Xception: full offloading is optimal even under load, so
+    # LoADPart matches the baseline (paper plots no baseline for them).
+    for model in ("vgg16", "xception"):
+        assert abs(per[model].mean_reduction) < 0.08, model
+        assert per[model].loadpart_points == (0,)
+
+    # ResNet18: local is optimal throughout; load variation has no effect.
+    assert abs(per["resnet18"].mean_reduction) < 0.08
+
+    # ResNet50: switches to local under 100%(h) (paper: close to baseline,
+    # local above 100%(l)).
+    assert 176 in per["resnet50"].loadpart_points
+    assert per["resnet50"].mean_reduction > -0.05

@@ -1,0 +1,13 @@
+"""Table I — FLOPs formulas, cross-checked against literature totals."""
+
+from repro.experiments import table1
+
+
+def test_table1_flops(benchmark, save_report):
+    result = benchmark.pedantic(table1.run_table1, rounds=3, iterations=1)
+    save_report("table1_flops", table1.format_table1(result))
+    assert result.all_within_reference
+    assert set(result.formulas) == {
+        "Conv", "DWConv", "Matmul", "Pooling",
+        "BiasAdd", "Element-wise", "BatchNorm", "Activation",
+    }

@@ -1,0 +1,19 @@
+"""Table II — GBT (XGBoost-substitute) feature selection."""
+
+from repro.experiments import table2
+
+
+def test_table2_feature_selection(benchmark, save_report):
+    result = benchmark.pedantic(
+        table2.run_table2, kwargs={"samples": 400, "seed": 11}, rounds=1, iterations=1
+    )
+    save_report("table2_features", table2.format_table2(result))
+
+    for row in result.rows:
+        # FLOPs is always a top-2 feature for compute-bound kinds.
+        if row.category in ("matmul", "dwconv"):
+            top2 = {name for name, _ in row.ranking[:2]}
+            assert "flops" in top2, (row.category, row.side)
+    # The edge conv selection of Table II captures most of the gain.
+    edge_conv = next(r for r in result.rows if (r.category, r.side) == ("conv", "edge"))
+    assert edge_conv.paper_gain_share > 0.6

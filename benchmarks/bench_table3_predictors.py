@@ -1,0 +1,24 @@
+"""Table III — prediction-model accuracy (the offline profiler pipeline)."""
+
+from repro.experiments import table3
+from repro.profiling.offline import OfflineProfiler
+
+
+def test_table3_predictors(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: table3.Table3Result(OfflineProfiler(samples_per_category=400, seed=7).run()),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table3_predictors", table3.format_table3(result))
+
+    rows = {r.name: r for r in result.report.rows}
+    # Paper's qualitative shape: matmul is the best-predicted kind on the
+    # device; conv kinds are among the worst everywhere.
+    assert result.matmul_is_most_accurate_device
+    assert result.device_conv_is_worst_mape
+    assert rows["Conv"].device_mape > 0.2, "device conv is hard to predict (paper: 40%)"
+    assert rows["Matmul"].device_mape < 0.15, "device matmul is easy (paper: 8.5%)"
+    # Edge RMSEs are microsecond-scale; device RMSEs are millisecond-scale.
+    assert rows["Conv"].edge_rmse < 1e-3
+    assert rows["Conv"].device_rmse > 1e-3

@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures and report output.
+
+Every experiment benchmark writes its formatted reproduction table to
+``results/<name>.txt`` so the paper-vs-measured comparison survives the
+run (pytest captures stdout by default).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def trained_report():
+    from repro.experiments.context import default_report
+
+    return default_report()

@@ -1,0 +1,63 @@
+"""Bring your own DNN: partition a custom network with the public API.
+
+The decision machinery is model-agnostic: anything expressible in the
+graph IR gets per-node predictions, transmission-size analysis and
+Algorithm 1 decisions for free.  This example builds a small custom
+DAG-structured CNN (a MobileNet-ish stem with a residual tail), inspects
+its cut landscape, and sweeps the decision over bandwidth and server load.
+
+Run:  python examples/custom_model.py
+"""
+
+from repro import GraphBuilder, LoADPartEngine, OfflineProfiler
+from repro.core.blocks import candidate_points
+
+
+def build_custom_model():
+    b = GraphBuilder("edgenet", (1, 3, 160, 160))
+    # Stem: standard conv + BN + ReLU, stride 2.
+    x = b.conv_block(b.input, 32, kernel=3, stride=2, padding=1, bn=True, prefix="stem")
+    # Two depth-wise separable blocks (MobileNet style).
+    for i, channels in enumerate((64, 128), start=1):
+        x = b.dwconv(x, kernel=3, stride=2, padding=1, name=f"ds{i}.dw")
+        x = b.batchnorm(x, name=f"ds{i}.dwbn")
+        x = b.relu(x, name=f"ds{i}.dwrelu")
+        x = b.conv(x, channels, kernel=1, name=f"ds{i}.pw")
+        x = b.batchnorm(x, name=f"ds{i}.pwbn")
+        x = b.relu(x, name=f"ds{i}.pwrelu")
+    # A residual block.
+    skip = x
+    y = b.conv_block(x, 128, kernel=3, padding=1, bn=True, prefix="res.a")
+    y = b.conv(y, 128, kernel=3, padding=1, name="res.b.conv")
+    y = b.batchnorm(y, name="res.b.bn")
+    x = b.add(y, skip, name="res.add")
+    x = b.relu(x, name="res.relu")
+    # Head.
+    x = b.global_avgpool(x, name="pool")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, 100, act=None, prefix="fc")
+    b.output(x)
+    return b.build()
+
+
+def main() -> None:
+    graph = build_custom_model()
+    print(graph.summary())
+
+    candidates = candidate_points(graph)
+    print(f"\n{len(graph) + 1} partition positions, "
+          f"{len(candidates)} block-boundary candidates: {candidates}")
+
+    report = OfflineProfiler(samples_per_category=250, seed=7).run()
+    engine = LoADPartEngine(graph, report.user_predictor, report.edge_predictor)
+
+    print("\ndecision sweep (p: 0=full offload, "
+          f"{engine.num_nodes}=local):")
+    print("        " + "".join(f"  k={k:<5g}" for k in (1, 10, 100)))
+    for bw_mbps in (1, 2, 4, 8, 16, 32, 64):
+        points = [engine.decide(bw_mbps * 1e6, k=float(k)).point for k in (1, 10, 100)]
+        print(f"{bw_mbps:>3} Mbps " + "".join(f"  p={p:<5}" for p in points))
+
+
+if __name__ == "__main__":
+    main()

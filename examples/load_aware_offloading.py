@@ -1,0 +1,64 @@
+"""Load-aware offloading: the Fig. 9 scenario as a runnable demo.
+
+SqueezeNet at a fixed 8 Mbps uplink while the edge server's GPU goes from
+idle to 100%(l) to 100%(h) and back.  LoADPart (load-aware) runs against
+the Neurosurgeon baseline (load-oblivious); the trace shows the partition
+point escaping to local inference when the server saturates and returning
+once the GPU watchdog reports recovery.
+
+Run:  python examples/load_aware_offloading.py
+"""
+
+import numpy as np
+
+from repro import (
+    ConstantTrace,
+    LoADPartEngine,
+    OffloadingSystem,
+    OfflineProfiler,
+    SystemConfig,
+    build_model,
+    fig9_schedule,
+)
+
+
+def run_policy(engine, policy: str):
+    system = OffloadingSystem(
+        engine,
+        bandwidth_trace=ConstantTrace(8e6),
+        load_schedule=fig9_schedule(),
+        config=SystemConfig(policy=policy, seed=3),
+    )
+    return system.run(280.0)
+
+
+def main() -> None:
+    report = OfflineProfiler(samples_per_category=250, seed=7).run()
+    engine = LoADPartEngine(
+        build_model("squeezenet"), report.user_predictor, report.edge_predictor
+    )
+    schedule = fig9_schedule()
+    loadpart = run_policy(engine, "loadpart")
+    baseline = run_policy(engine, "neurosurgeon")
+
+    print("time   GPU load   LoADPart p   LoADPart(ms)   baseline(ms)")
+    print("----   --------   ----------   ------------   ------------")
+    for t0 in range(0, 280, 20):
+        lp = loadpart.between(float(t0), float(t0 + 20))
+        bl = baseline.between(float(t0), float(t0 + 20))
+        if not len(lp) or not len(bl):
+            continue
+        level = schedule.level_at(t0 + 10.0).name
+        point = int(np.median(lp.points))
+        mode = "local" if point == engine.num_nodes else f"p={point}"
+        print(f"{t0:>3}s   {level:>8}   {mode:>10}   "
+              f"{lp.mean_latency() * 1e3:12.1f}   {bl.mean_latency() * 1e3:12.1f}")
+
+    reduction = 1 - loadpart.mean_latency() / baseline.mean_latency()
+    print(f"\nmean end-to-end latency: LoADPart {loadpart.mean_latency() * 1e3:.1f} ms "
+          f"vs baseline {baseline.mean_latency() * 1e3:.1f} ms "
+          f"({100 * reduction:.1f}% reduction; paper: 14.2% avg, up to 32.3%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Functional split execution: partition SqueezeNet and actually run it.
+
+Demonstrates the executable side of the system (the stand-in for the
+paper's MindSpore runtime): the graph is partitioned at the point the
+decision engine picks, the head runs "on the device", the intermediate
+tensors cross the (simulated) link, the tail runs "on the server" — and
+the result is bit-identical to monolithic execution.
+
+Run:  python examples/partition_and_execute.py
+"""
+
+import numpy as np
+
+from repro import GraphPartitioner, OfflineProfiler, LoADPartEngine, build_model
+from repro.nn import GraphExecutor, SegmentExecutor
+
+
+def main() -> None:
+    graph = build_model("squeezenet")
+    report = OfflineProfiler(samples_per_category=250, seed=7).run()
+    engine = LoADPartEngine(graph, report.user_predictor, report.edge_predictor)
+
+    # Where would LoADPart split at 8 Mbps on an idle server?
+    point = engine.decide(8e6).point
+    part = GraphPartitioner(graph).partition(point)
+    print(f"SqueezeNet split after topological position {point} "
+          f"(of {engine.num_nodes})")
+    print(f"  head: {len(part.head.compute_nodes)} nodes on the device")
+    print(f"  tail: {len(part.tail.compute_nodes)} nodes on the server")
+    print(f"  tensors crossing the link: "
+          f"{ {k: str(v) for k, v in part.transfer_specs.items()} }")
+    print(f"  upload size: {part.upload_bytes / 1e3:.1f} kB "
+          f"(vs {graph.input_spec.nbytes / 1e3:.1f} kB raw input)")
+
+    # Execute both ways on a real tensor.  Both sides initialise identical
+    # weights from the shared model file (deterministic seeding), so no
+    # weights ever cross the network — as in the paper's deployment.
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+
+    monolithic = GraphExecutor(graph, seed=42)
+    reference = monolithic.run(x)
+
+    device_side = SegmentExecutor(part.head, seed=42)
+    transferred = device_side.run({graph.input_name: x})
+    print(f"  device produced {len(transferred)} boundary tensor(s); "
+          "uploading to the server ...")
+
+    if graph.input_name in part.transfer_specs:
+        transferred[graph.input_name] = x
+    server_side = SegmentExecutor(part.tail, seed=42)
+    result = server_side.run(transferred)[graph.output_name]
+
+    error = float(np.abs(result - reference).max())
+    print(f"  max |split - monolithic| = {error:.2e}")
+    assert error < 1e-4, "partitioned execution must match"
+    top5 = np.argsort(result[0])[-5:][::-1]
+    print(f"  top-5 classes: {top5.tolist()}  (identical either way)")
+
+
+if __name__ == "__main__":
+    main()

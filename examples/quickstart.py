@@ -1,0 +1,61 @@
+"""Quickstart: train the predictors, make partition decisions, run the system.
+
+This is the 60-second tour of the public API:
+
+1. run the offline profiler (Fig. 4) to train M_user / M_edge,
+2. build a decision engine for a DNN and ask it where to split under
+   different network/load conditions (Algorithm 1),
+3. run the full device-server emulation for a few seconds and inspect the
+   per-request records.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ConstantTrace,
+    LoADPartEngine,
+    OffloadingSystem,
+    OfflineProfiler,
+    SystemConfig,
+    build_model,
+)
+
+
+def main() -> None:
+    # 1. Offline phase: profile sampled layer configs and fit the NNLS
+    #    prediction models for both sides (takes well under a second).
+    report = OfflineProfiler(samples_per_category=250, seed=7).run()
+    print("Trained prediction models (Table III excerpt):")
+    print(report.format_table3())
+
+    # 2. Decision engine for AlexNet: one O(n) scan per query.
+    engine = LoADPartEngine(
+        build_model("alexnet"), report.user_predictor, report.edge_predictor
+    )
+    print("\nAlexNet partition decisions (n=27; 0=full offload, 27=local):")
+    for bw_mbps in (1, 4, 8, 32):
+        for k in (1.0, 50.0):
+            decision = engine.decide(bw_mbps * 1e6, k=k)
+            print(
+                f"  {bw_mbps:>2} Mbps, k={k:<5.1f} -> p={decision.point:>2} "
+                f"predicted {decision.predicted_latency * 1e3:7.1f} ms"
+            )
+
+    # 3. Online phase: the discrete-event device-server emulation.
+    system = OffloadingSystem(
+        engine,
+        bandwidth_trace=ConstantTrace(8e6),
+        config=SystemConfig(policy="loadpart", seed=0),
+    )
+    timeline = system.run(duration_s=5.0)
+    print(f"\nSimulated 5 s at 8 Mbps: {len(timeline)} inferences, "
+          f"mean {timeline.mean_latency() * 1e3:.1f} ms, "
+          f"p95 {timeline.percentile_latency(95) * 1e3:.1f} ms")
+    first = timeline.records[0]
+    print(f"first request: p={first.partition_point}, "
+          f"device {first.device_s * 1e3:.1f} ms + upload {first.upload_s * 1e3:.1f} ms "
+          f"+ server {first.server_s * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

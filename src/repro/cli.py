@@ -1,0 +1,148 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    loadpart models
+    loadpart summary squeezenet
+    loadpart decide alexnet --bandwidth-mbps 8 --k 1.0
+    loadpart simulate squeezenet --policy loadpart --duration 60 --fig9-load
+    loadpart experiment fig9
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, table1, table2, table3, table4
+
+EXPERIMENTS = {
+    "fig1": lambda: fig1.format_fig1(fig1.run_fig1()),
+    "fig2": lambda: fig2.format_fig2(fig2.run_fig2(samples=300)),
+    "fig6": lambda: fig6.format_fig6(fig6.run_fig6()),
+    "fig7": lambda: fig7.format_fig7(fig7.run_fig7()),
+    "fig8": lambda: fig8.format_fig8(fig8.run_fig8()),
+    "fig9": lambda: fig9.format_fig9(fig9.run_fig9()),
+    "table1": lambda: table1.format_table1(table1.run_table1()),
+    "table2": lambda: table2.format_table2(table2.run_table2()),
+    "table3": lambda: table3.format_table3(table3.run_table3()),
+    "table4": lambda: table4.format_table4(table4.run_table4()),
+}
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.models import build_model, list_models
+
+    print(f"{'model':<14} {'nodes':>6} {'GFLOPs':>8} {'params(MB)':>11}")
+    for name in list_models():
+        graph = build_model(name)
+        print(f"{name:<14} {len(graph):>6} {graph.total_flops() / 1e9:>8.3f} "
+              f"{graph.total_param_bytes() / 1e6:>11.2f}")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    from repro.models import build_model
+
+    print(build_model(args.model).summary())
+    return 0
+
+
+def _cmd_decide(args: argparse.Namespace) -> int:
+    from repro.experiments.context import default_engine
+
+    engine = default_engine(args.model)
+    decision = engine.decide(args.bandwidth_mbps * 1e6, k=args.k)
+    n = engine.num_nodes
+    mode = "local inference" if decision.is_local else (
+        "full offloading" if decision.is_full_offload else "partial offloading"
+    )
+    print(f"{args.model} at {args.bandwidth_mbps:g} Mbps, k={args.k:g}:")
+    print(f"  partition point p={decision.point} of {n} ({mode})")
+    print(f"  predicted end-to-end latency {decision.predicted_latency * 1e3:.1f} ms")
+    if args.landscape:
+        order = engine.graph.topological_order()
+        print(f"  {'p':>4} {'after':<28} {'predicted(ms)':>14}")
+        for p in range(n + 1):
+            label = "(input)" if p == 0 else order[p - 1]
+            marker = "  <-- chosen" if p == decision.point else ""
+            print(f"  {p:>4} {label:<28} {decision.candidates[p] * 1e3:>14.1f}{marker}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments.context import default_engine
+    from repro.hardware import fig9_schedule
+    from repro.network import ConstantTrace
+    from repro.runtime import OffloadingSystem, SystemConfig
+
+    engine = default_engine(args.model)
+    system = OffloadingSystem(
+        engine,
+        bandwidth_trace=ConstantTrace(args.bandwidth_mbps * 1e6),
+        load_schedule=fig9_schedule() if args.fig9_load else None,
+        config=SystemConfig(policy=args.policy, seed=args.seed),
+    )
+    timeline = system.run(args.duration)
+    points = sorted(set(timeline.points.tolist()))
+    print(f"{args.model} / {args.policy}: {len(timeline)} inferences in "
+          f"{args.duration:g} s at {args.bandwidth_mbps:g} Mbps")
+    print(f"  mean {timeline.mean_latency() * 1e3:.1f} ms, "
+          f"p95 {timeline.percentile_latency(95) * 1e3:.1f} ms")
+    print(f"  partition points used: {points}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    print(EXPERIMENTS[args.name]())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="loadpart",
+        description="LoADPart reproduction: load-aware dynamic DNN partitioning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(func=_cmd_models)
+
+    p = sub.add_parser("summary", help="per-node summary of one model")
+    p.add_argument("model")
+    p.set_defaults(func=_cmd_summary)
+
+    p = sub.add_parser("decide", help="run Algorithm 1 once")
+    p.add_argument("model")
+    p.add_argument("--bandwidth-mbps", type=float, default=8.0)
+    p.add_argument("--k", type=float, default=1.0,
+                   help="influential factor of the server load (>= 1)")
+    p.add_argument("--landscape", action="store_true",
+                   help="print the full per-point objective")
+    p.set_defaults(func=_cmd_decide)
+
+    p = sub.add_parser("simulate", help="run the device-server emulation")
+    p.add_argument("model")
+    p.add_argument("--policy", choices=("loadpart", "neurosurgeon", "local", "full"),
+                   default="loadpart")
+    p.add_argument("--bandwidth-mbps", type=float, default=8.0)
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--fig9-load", action="store_true",
+                   help="apply the Fig. 9 background-load schedule")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.set_defaults(func=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""``LoADPartEngine``: the per-model decision engine of §IV.
+
+Binds together a computation graph, the trained prediction models
+(M_user, M_edge) and the cut analysis.  The prefix and suffix arrays of
+Algorithm 1 are computed exactly once at construction; each call to
+:meth:`decide` is then a single O(n) scan with the current bandwidth
+estimate and the latest influential factor ``k`` multiplied onto the
+suffix sum, exactly as the paper's implementation does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.partition_algorithm import (
+    PartitionDecision,
+    compute_prefix_device,
+    compute_suffix_edge,
+    partition_decision,
+)
+from repro.graph.graph import ComputationGraph
+from repro.profiling.features import NodeProfile, profile_graph
+from repro.profiling.predictor import LatencyPredictor
+
+
+class LoADPartEngine:
+    """Decision engine for one DNN on one (device, server) pair."""
+
+    def __init__(
+        self,
+        graph: ComputationGraph,
+        user_predictor: LatencyPredictor,
+        edge_predictor: LatencyPredictor,
+        upload_codec=None,
+    ) -> None:
+        if user_predictor.side != "device":
+            raise ValueError("user_predictor must be the 'device' side")
+        if edge_predictor.side != "edge":
+            raise ValueError("edge_predictor must be the 'edge' side")
+        graph.validate()
+        self.graph = graph
+        self.upload_codec = upload_codec
+        self.profiles: List[NodeProfile] = profile_graph(graph)
+        self.device_times = user_predictor.predict_nodes(self.profiles)
+        self.edge_times = edge_predictor.predict_nodes(self.profiles)
+        sizes = graph.transmission_sizes()
+        if upload_codec is not None:
+            # Compressed uploads (codec extension): the decision sees the
+            # wire sizes, which shifts the optimum toward earlier cuts.
+            sizes = [upload_codec.wire_bytes(s) for s in sizes]
+        self.sizes = sizes
+        self.output_bytes = graph.output_spec.nbytes
+        self._prefix = compute_prefix_device(self.device_times)
+        self._suffix = compute_suffix_edge(self.edge_times)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.profiles)
+
+    def decide(
+        self,
+        bandwidth_up: float,
+        k: float = 1.0,
+        bandwidth_down: float | None = None,
+    ) -> PartitionDecision:
+        """Run Algorithm 1 under the given link/load conditions."""
+        return partition_decision(
+            self.device_times,
+            self.edge_times,
+            self.sizes,
+            bandwidth_up,
+            k=k,
+            bandwidth_down=bandwidth_down,
+            output_bytes=self.output_bytes,
+            prefix=self._prefix,
+            suffix=self._suffix,
+        )
+
+    # -- component predictions, used by the runtime and the experiments -----
+
+    def predicted_device_time(self, point: int) -> float:
+        """Predicted device time of the head (positions 1..point)."""
+        self._check_point(point)
+        return float(self._prefix[point])
+
+    def predicted_server_time(self, point: int, k: float = 1.0) -> float:
+        """Predicted server time of the tail under load factor ``k``."""
+        self._check_point(point)
+        return float(k * self._suffix[point])
+
+    def predicted_upload_time(self, point: int, bandwidth_up: float) -> float:
+        self._check_point(point)
+        if point == self.num_nodes:
+            return 0.0
+        return self.sizes[point] * 8 / bandwidth_up
+
+    def tail_profiles(self, point: int) -> Sequence[NodeProfile]:
+        """Node profiles of the server-side tail for partition ``point``."""
+        self._check_point(point)
+        return self.profiles[point:]
+
+    def head_profiles(self, point: int) -> Sequence[NodeProfile]:
+        self._check_point(point)
+        return self.profiles[:point]
+
+    def _check_point(self, point: int) -> None:
+        if not 0 <= point <= self.num_nodes:
+            raise ValueError(f"partition point {point} out of range [0, {self.num_nodes}]")

@@ -1,0 +1,39 @@
+"""Experiment regenerators: one module per table/figure of the paper.
+
+Each module exposes ``run_*`` (returns a structured result) and
+``format_*`` (renders the result as the rows/series the paper reports).
+The benchmark harness under ``benchmarks/`` calls these; they can also be
+driven directly, e.g.::
+
+    from repro.experiments import fig9
+    result = fig9.run_fig9(models=("squeezenet",))
+    print(fig9.format_fig9(result))
+"""
+
+from repro.experiments import (  # noqa: F401
+    context,
+    fig1,
+    fig2,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "context",
+    "fig1",
+    "fig2",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

@@ -1,0 +1,117 @@
+"""Timeline analysis: the paper's summary metrics, reusable.
+
+Turns raw :class:`~repro.runtime.system.Timeline` objects into the numbers
+the paper reports (mean/max latency reductions, per-window series,
+partition-point dwell statistics) and exports timelines as CSV for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.messages import InferenceRecord
+from repro.runtime.system import Timeline
+
+CSV_COLUMNS = (
+    "request_id", "start_s", "partition_point", "estimated_bandwidth_bps",
+    "k_used", "device_s", "upload_s", "server_s", "download_s",
+    "overhead_s", "total_s", "load_level",
+)
+
+
+def timeline_to_csv(timeline: Timeline) -> str:
+    """Serialise a timeline as CSV (one row per inference)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for r in timeline:
+        writer.writerow([getattr(r, col) for col in CSV_COLUMNS])
+    return buffer.getvalue()
+
+
+def timeline_from_csv(text: str) -> Timeline:
+    """Rebuild a timeline from :func:`timeline_to_csv` output."""
+    reader = csv.DictReader(io.StringIO(text))
+    records: List[InferenceRecord] = []
+    for row in reader:
+        records.append(
+            InferenceRecord(
+                request_id=int(row["request_id"]),
+                start_s=float(row["start_s"]),
+                partition_point=int(row["partition_point"]),
+                estimated_bandwidth_bps=float(row["estimated_bandwidth_bps"]),
+                k_used=float(row["k_used"]),
+                device_s=float(row["device_s"]),
+                upload_s=float(row["upload_s"]),
+                server_s=float(row["server_s"]),
+                download_s=float(row["download_s"]),
+                overhead_s=float(row["overhead_s"]),
+                total_s=float(row["total_s"]),
+                load_level=row["load_level"],
+                device_cache_hit=True,
+                server_cache_hit=True,
+            )
+        )
+    return Timeline(records)
+
+
+@dataclass(frozen=True)
+class ComparisonStats:
+    """LoADPart-vs-baseline numbers in the paper's reporting style."""
+
+    mean_reduction: float        # "reduces end-to-end latency by X% on average"
+    max_window_reduction: float  # "and up to Y% in some specific cases"
+    p95_reduction: float
+    windows: Tuple[Tuple[float, float, float], ...]  # (t, ours ms, baseline ms)
+
+
+def compare_timelines(
+    ours: Timeline,
+    baseline: Timeline,
+    duration_s: float,
+    window_s: float = 10.0,
+    min_window_samples: int = 3,
+) -> ComparisonStats:
+    """The paper's Fig. 9 headline statistics for any pair of runs."""
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    if not len(ours) or not len(baseline):
+        raise ValueError("both timelines must contain records")
+    windows: List[Tuple[float, float, float]] = []
+    best = 0.0
+    t = 0.0
+    while t < duration_s:
+        lhs = ours.between(t, t + window_s)
+        rhs = baseline.between(t, t + window_s)
+        if len(lhs) >= min_window_samples and len(rhs) >= min_window_samples:
+            a, b = lhs.mean_latency(), rhs.mean_latency()
+            windows.append((t, a * 1e3, b * 1e3))
+            best = max(best, 1.0 - a / b)
+        t += window_s
+    return ComparisonStats(
+        mean_reduction=1.0 - ours.mean_latency() / baseline.mean_latency(),
+        max_window_reduction=best,
+        p95_reduction=1.0 - ours.percentile_latency(95) / baseline.percentile_latency(95),
+        windows=tuple(windows),
+    )
+
+
+def dwell_statistics(timeline: Timeline) -> Dict[int, float]:
+    """Fraction of requests served at each partition point."""
+    points, counts = np.unique(timeline.points, return_counts=True)
+    total = counts.sum()
+    return {int(p): float(c) / total for p, c in zip(points, counts)}
+
+
+def component_breakdown(timeline: Timeline) -> Dict[str, float]:
+    """Mean per-request split across device/upload/server/download/overhead."""
+    fields = ("device_s", "upload_s", "server_s", "download_s", "overhead_s")
+    return {
+        f: float(np.mean([getattr(r, f) for r in timeline])) for f in fields
+    }

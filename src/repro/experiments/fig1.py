@@ -1,0 +1,100 @@
+"""Fig. 1 — motivation: AlexNet latency at every partition point, 8 Mbps.
+
+Reproduces the stacked bars: for each partition point of AlexNet, the
+device computation latency, the network transmission overhead, and the
+edge-server computation latency, at 8 Mbps up/down on an idle server.  The
+paper reads off two facts: the best point (right after MaxPool-2 in their
+enumeration) is ~4x better than full offloading and ~30% better than local
+inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.context import default_engine
+from repro.experiments.reporting import ms, render_table
+from repro.hardware.device_model import DeviceModel
+from repro.hardware.gpu_model import GpuModel
+from repro.models import build_model
+from repro.profiling.features import profile_graph
+
+MBPS = 1e6
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    point: int
+    label: str
+    device_s: float
+    network_s: float
+    server_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.device_s + self.network_s + self.server_s
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    rows: Tuple[Fig1Row, ...]
+    best: Fig1Row
+    speedup_vs_full: float
+    speedup_vs_local: float
+
+
+def run_fig1(bandwidth_bps: float = 8 * MBPS, model: str = "alexnet") -> Fig1Result:
+    """True (noiseless) latency decomposition per partition point."""
+    graph = build_model(model)
+    profiles = profile_graph(graph)
+    order = graph.topological_order()
+    sizes = graph.transmission_sizes()
+    device = DeviceModel()
+    gpu = GpuModel()
+    device_times = [device.mean_time(p) for p in profiles]
+    server_times = gpu.kernel_times(profiles)
+    n = len(profiles)
+
+    rows: List[Fig1Row] = []
+    for p in range(n + 1):
+        label = "input" if p == 0 else order[p - 1]
+        network = sizes[p] * 8 / bandwidth_bps if p < n else 0.0
+        # The result download is included for Fig. 1 (the paper's bars show
+        # transmission overhead for the full round trip).
+        if p < n:
+            network += graph.output_spec.nbytes * 8 / bandwidth_bps
+        rows.append(
+            Fig1Row(
+                point=p,
+                label=label,
+                device_s=sum(device_times[:p]),
+                network_s=network,
+                server_s=sum(server_times[p:]),
+            )
+        )
+    best = min(rows, key=lambda r: r.total_s)
+    return Fig1Result(
+        rows=tuple(rows),
+        best=best,
+        speedup_vs_full=rows[0].total_s / best.total_s,
+        speedup_vs_local=rows[n].total_s / best.total_s,
+    )
+
+
+def format_fig1(result: Fig1Result) -> str:
+    table = render_table(
+        ["p", "after node", "device(ms)", "network(ms)", "server(ms)", "total(ms)"],
+        [
+            (r.point, r.label, ms(r.device_s), ms(r.network_s), ms(r.server_s), ms(r.total_s))
+            for r in result.rows
+        ],
+    )
+    summary = (
+        f"\nbest point p={result.best.point} ({result.best.label}): "
+        f"{ms(result.best.total_s)} ms  |  "
+        f"{result.speedup_vs_full:.2f}x vs full offloading, "
+        f"{result.speedup_vs_local:.2f}x vs local inference\n"
+        "paper: ~4x vs full offloading, ~1.3x (30%) vs local inference"
+    )
+    return table + summary

@@ -1,0 +1,98 @@
+"""Fig. 6 — partition points and latency under varying upload bandwidth.
+
+For each of the 6 DNNs, the upload bandwidth follows the paper's sweep
+(8 -> 4 -> 2 -> 1 -> 2 -> 4 -> 8 -> 16 -> 32 -> 64 Mbps in 30 s segments)
+while the full runtime — bandwidth estimator, probes, passive samples,
+partition cache — runs live.  Reported per segment: the dominant partition
+point and the median end-to-end latency, which is what the paper's
+subfigures plot over time.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.context import default_engine
+from repro.experiments.reporting import ms, render_table
+from repro.models import EVALUATED_MODELS
+from repro.network.traces import FIG6_BANDWIDTHS_MBPS, fig6_trace
+from repro.runtime.system import OffloadingSystem, SystemConfig
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    bandwidth_mbps: float
+    dominant_point: int
+    median_latency_s: float
+    mean_latency_s: float
+    requests: int
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    segment_s: float
+    per_model: Dict[str, Tuple[SegmentStats, ...]]
+    num_nodes: Dict[str, int]
+
+
+def run_fig6(
+    models: Sequence[str] = tuple(EVALUATED_MODELS),
+    segment_s: float = 30.0,
+    seed: int = 0,
+) -> Fig6Result:
+    per_model: Dict[str, Tuple[SegmentStats, ...]] = {}
+    num_nodes: Dict[str, int] = {}
+    duration = segment_s * len(FIG6_BANDWIDTHS_MBPS)
+    for model in models:
+        engine = default_engine(model)
+        num_nodes[model] = engine.num_nodes
+        system = OffloadingSystem(
+            engine,
+            bandwidth_trace=fig6_trace(segment_s),
+            config=SystemConfig(policy="loadpart", seed=seed),
+        )
+        timeline = system.run(duration)
+        stats: List[SegmentStats] = []
+        for i, bw in enumerate(FIG6_BANDWIDTHS_MBPS):
+            # Skip the first seconds of each segment: the estimator needs a
+            # probe period to notice the change, exactly as the real system
+            # would (this lag is part of the paper's Fig. 6 traces too).
+            window = timeline.between(i * segment_s + segment_s / 3, (i + 1) * segment_s)
+            if len(window) == 0:
+                window = timeline.between(i * segment_s, (i + 1) * segment_s)
+            points = Counter(r.partition_point for r in window)
+            stats.append(
+                SegmentStats(
+                    bandwidth_mbps=bw,
+                    dominant_point=points.most_common(1)[0][0],
+                    median_latency_s=float(np.median(window.latencies)),
+                    mean_latency_s=window.mean_latency(),
+                    requests=len(window),
+                )
+            )
+        per_model[model] = tuple(stats)
+    return Fig6Result(segment_s=segment_s, per_model=per_model, num_nodes=num_nodes)
+
+
+def format_fig6(result: Fig6Result) -> str:
+    blocks = []
+    for model, stats in result.per_model.items():
+        n = result.num_nodes[model]
+        rows = []
+        for s in stats:
+            kind = "local" if s.dominant_point == n else (
+                "full" if s.dominant_point == 0 else "partial"
+            )
+            rows.append(
+                (f"{s.bandwidth_mbps:g}", s.dominant_point, kind,
+                 ms(s.median_latency_s), s.requests)
+            )
+        table = render_table(
+            ["Mbps", "p", "mode", "median(ms)", "requests"], rows
+        )
+        blocks.append(f"{model} (n={n})\n{table}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,124 @@
+"""Figs. 7/8 — LoADPart vs local inference vs full offloading per bandwidth.
+
+For AlexNet (Fig. 7) and SqueezeNet (Fig. 8), each policy runs at every
+bandwidth of the sweep and the mean end-to-end latencies are compared.
+The paper condenses these into speedup factors: AlexNet 6.96x mean /
+21.98x max vs full offloading and 1.75x / 3.37x vs local; SqueezeNet
+7.05x / 23.93x and 1.41x / 2.53x respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.context import default_engine
+from repro.experiments.reporting import ms, render_table
+from repro.network.traces import ConstantTrace
+from repro.runtime.system import OffloadingSystem, SystemConfig
+
+BANDWIDTHS_MBPS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+POLICIES: Tuple[str, ...] = ("local", "full", "loadpart")
+
+
+@dataclass(frozen=True)
+class BandwidthRow:
+    bandwidth_mbps: float
+    local_s: float
+    full_s: float
+    loadpart_s: float
+    loadpart_point: int
+
+
+@dataclass(frozen=True)
+class PolicyComparison:
+    model: str
+    rows: Tuple[BandwidthRow, ...]
+
+    def _speedups(self, attr: str) -> np.ndarray:
+        return np.array([getattr(r, attr) / r.loadpart_s for r in self.rows])
+
+    @property
+    def mean_speedup_vs_full(self) -> float:
+        return float(self._speedups("full_s").mean())
+
+    @property
+    def max_speedup_vs_full(self) -> float:
+        return float(self._speedups("full_s").max())
+
+    @property
+    def mean_speedup_vs_local(self) -> float:
+        return float(self._speedups("local_s").mean())
+
+    @property
+    def max_speedup_vs_local(self) -> float:
+        return float(self._speedups("local_s").max())
+
+
+def run_policy_comparison(
+    model: str,
+    bandwidths_mbps: Sequence[float] = BANDWIDTHS_MBPS,
+    requests: int = 60,
+    seed: int = 0,
+) -> PolicyComparison:
+    engine = default_engine(model)
+    rows: List[BandwidthRow] = []
+    for bw in bandwidths_mbps:
+        means: Dict[str, float] = {}
+        point = engine.num_nodes
+        for policy in POLICIES:
+            system = OffloadingSystem(
+                engine,
+                bandwidth_trace=ConstantTrace(bw * 1e6),
+                config=SystemConfig(policy=policy, seed=seed),
+            )
+            timeline = system.run(duration_s=1e9, max_requests=requests)
+            means[policy] = timeline.mean_latency()
+            if policy == "loadpart":
+                point = int(np.median(timeline.points))
+        rows.append(
+            BandwidthRow(
+                bandwidth_mbps=bw,
+                local_s=means["local"],
+                full_s=means["full"],
+                loadpart_s=means["loadpart"],
+                loadpart_point=point,
+            )
+        )
+    return PolicyComparison(model=model, rows=tuple(rows))
+
+
+def run_fig7(**kwargs) -> PolicyComparison:
+    """Fig. 7: AlexNet."""
+    return run_policy_comparison("alexnet", **kwargs)
+
+
+def format_comparison(result: PolicyComparison, paper: Dict[str, float] | None = None) -> str:
+    table = render_table(
+        ["Mbps", "local(ms)", "full(ms)", "LoADPart(ms)", "p"],
+        [
+            (f"{r.bandwidth_mbps:g}", ms(r.local_s), ms(r.full_s), ms(r.loadpart_s), r.loadpart_point)
+            for r in result.rows
+        ],
+    )
+    summary = (
+        f"\nspeedup vs full offloading: {result.mean_speedup_vs_full:.2f}x mean, "
+        f"{result.max_speedup_vs_full:.2f}x max\n"
+        f"speedup vs local inference: {result.mean_speedup_vs_local:.2f}x mean, "
+        f"{result.max_speedup_vs_local:.2f}x max"
+    )
+    if paper:
+        summary += (
+            f"\npaper ({result.model}): {paper['full_mean']:.2f}x/{paper['full_max']:.2f}x vs full, "
+            f"{paper['local_mean']:.2f}x/{paper['local_max']:.2f}x vs local"
+        )
+    return table + summary
+
+
+PAPER_FIG7 = {"full_mean": 6.96, "full_max": 21.98, "local_mean": 1.75, "local_max": 3.37}
+
+
+def format_fig7(result: PolicyComparison) -> str:
+    return format_comparison(result, PAPER_FIG7)

@@ -1,0 +1,21 @@
+"""Fig. 8 — SqueezeNet: LoADPart vs local vs full offloading per bandwidth.
+
+See :mod:`repro.experiments.fig7` for the shared machinery; the paper's
+SqueezeNet speedups are 7.05x mean / 23.93x max vs full offloading and
+1.41x / 2.53x vs local inference.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import PolicyComparison, format_comparison, run_policy_comparison
+
+PAPER_FIG8 = {"full_mean": 7.05, "full_max": 23.93, "local_mean": 1.41, "local_max": 2.53}
+
+
+def run_fig8(**kwargs) -> PolicyComparison:
+    """Fig. 8: SqueezeNet."""
+    return run_policy_comparison("squeezenet", **kwargs)
+
+
+def format_fig8(result: PolicyComparison) -> str:
+    return format_comparison(result, PAPER_FIG8)

@@ -1,0 +1,77 @@
+"""Table I — FLOPs of the 8 typical kinds of computation nodes.
+
+The formulas live in :mod:`repro.graph.ops`; this experiment renders them
+and cross-checks the summed FLOPs of the model zoo against the well-known
+reference totals (AlexNet ~0.72 GFLOPs multiply-accumulate, VGG16 ~15.5,
+ResNet50 ~4.1, InceptionV3 ~5.7), which validates the per-node formulas
+end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.reporting import render_table
+from repro.models import build_model
+
+#: The formula column of Table I, keyed by the paper's node names.
+TABLE1_FORMULAS: Dict[str, str] = {
+    "Conv": "N*C_in*H_out*W_out*K_H*K_W*C_out",
+    "DWConv": "N*C_in*H_out*W_out*K_H*K_W",
+    "Matmul": "N*C_in*C_out",
+    "Pooling": "N*C_out*H_out*W_out*K_H*K_W",
+    "BiasAdd": "prod(S_i)  (total input size)",
+    "Element-wise": "prod(S_i)  (total input size)",
+    "BatchNorm": "prod(S_i)  (total input size)",
+    "Activation": "prod(S_i)  (total input size)",
+}
+
+#: Reference GFLOPs (multiply-accumulate counts) from the literature.
+REFERENCE_GFLOPS: Dict[str, Tuple[float, float]] = {
+    "alexnet": (0.65, 0.80),
+    "vgg16": (15.0, 16.0),
+    "resnet18": (1.7, 2.0),
+    "resnet50": (3.8, 4.3),
+    "inception_v3": (5.3, 6.0),
+    "xception": (8.0, 9.0),
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    formulas: Dict[str, str]
+    model_gflops: Dict[str, float]
+    reference: Dict[str, Tuple[float, float]]
+
+    @property
+    def all_within_reference(self) -> bool:
+        return all(
+            lo <= self.model_gflops[m] <= hi for m, (lo, hi) in self.reference.items()
+        )
+
+
+def run_table1() -> Table1Result:
+    gflops = {
+        model: build_model(model).total_flops() / 1e9 for model in REFERENCE_GFLOPS
+    }
+    return Table1Result(
+        formulas=dict(TABLE1_FORMULAS),
+        model_gflops=gflops,
+        reference=dict(REFERENCE_GFLOPS),
+    )
+
+
+def format_table1(result: Table1Result) -> str:
+    formulas = render_table(
+        ["Computation Node", "FLOPs"], list(result.formulas.items())
+    )
+    checks = render_table(
+        ["model", "GFLOPs (ours)", "reference range", "ok"],
+        [
+            (m, f"{result.model_gflops[m]:.3f}", f"[{lo}, {hi}]",
+             "yes" if lo <= result.model_gflops[m] <= hi else "NO")
+            for m, (lo, hi) in result.reference.items()
+        ],
+    )
+    return f"{formulas}\n\ncross-check against literature totals:\n{checks}"

@@ -1,0 +1,76 @@
+"""Table III — RMSE / MAPE of the inference-time prediction models.
+
+Runs the offline profiler pipeline (sample -> measure -> NNLS fit ->
+held-out evaluation) and reports the accuracy per computation-node kind
+for both the edge server and the user-end device, alongside the paper's
+published values for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.context import default_report
+from repro.experiments.reporting import render_table
+from repro.profiling.offline import ProfilerReport
+
+#: Paper's Table III values: name -> (edge RMSE us, edge MAPE, dev RMSE us, dev MAPE).
+PAPER_TABLE3: Dict[str, Tuple[float, float, float, float]] = {
+    "Conv": (401.81, 0.1671, 41325.68, 0.4009),
+    "DWConv": (11.95, 0.4158, 712.79, 0.3664),
+    "Matmul": (3.41, 0.0533, 420.71, 0.0854),
+    "AvgPooling": (6.90, 0.1356, 635.26, 0.1929),
+    "MaxPooling": (6.19, 0.3423, 2375.42, 0.2025),
+    "BiasAdd": (4.60, 0.0740, 690.55, 0.0480),
+    "Elem-wise Add": (1.47, 0.0637, 1232.25, 0.0482),
+    "BatchNorm": (24.34, 0.1097, 2023.16, 0.0936),
+    "ReLU": (4.52, 0.1259, 1451.52, 0.1767),
+}
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    report: ProfilerReport
+
+    @property
+    def device_conv_is_worst_mape(self) -> bool:
+        """The paper's headline: device conv is among the hardest to predict."""
+        convs = [r for r in self.report.rows if r.name in ("Conv", "DWConv")]
+        others = [r for r in self.report.rows if r.name not in ("Conv", "DWConv")]
+        best_conv = max(r.device_mape for r in convs)
+        return best_conv >= max(o.device_mape for o in others) * 0.5
+
+    @property
+    def matmul_is_most_accurate_device(self) -> bool:
+        rows = {r.name: r for r in self.report.rows}
+        matmul = rows["Matmul"].device_mape
+        return matmul == min(r.device_mape for r in self.report.rows)
+
+
+def run_table3(samples: int = 400, seed: int = 7) -> Table3Result:
+    return Table3Result(report=default_report(samples, seed))
+
+
+def format_table3(result: Table3Result) -> str:
+    rows = []
+    for row in result.report.rows:
+        paper = PAPER_TABLE3[row.name]
+        rows.append(
+            (
+                row.name,
+                f"{row.edge_rmse * 1e6:.1f}",
+                f"{row.edge_mape * 100:.1f}%",
+                f"{paper[1] * 100:.1f}%",
+                f"{row.device_rmse * 1e6:.1f}",
+                f"{row.device_mape * 100:.1f}%",
+                f"{paper[3] * 100:.1f}%",
+            )
+        )
+    return render_table(
+        [
+            "node", "edge RMSE(us)", "edge MAPE", "paper edge MAPE",
+            "dev RMSE(us)", "dev MAPE", "paper dev MAPE",
+        ],
+        rows,
+    )

@@ -1,0 +1,173 @@
+"""Fluent graph builder used by the model zoo.
+
+Each builder method appends one CNode and returns its name, so networks read
+top-to-bottom::
+
+    b = GraphBuilder("alexnet", (1, 3, 224, 224))
+    x = b.conv(b.input, 64, kernel=11, stride=4, padding=2)
+    x = b.bias_add(x)
+    x = b.relu(x)
+    ...
+    b.output(x)
+    graph = b.build()
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Sequence, Tuple
+
+from repro.graph.graph import ComputationGraph
+from repro.graph.node import CNode, TensorSpec
+
+
+class GraphBuilder:
+    """Incrementally builds a validated :class:`ComputationGraph`."""
+
+    def __init__(self, name: str, input_shape: Tuple[int, ...], dtype: str = "float32") -> None:
+        self._graph = ComputationGraph(name, TensorSpec(tuple(input_shape), dtype))
+        self._counts: Counter[str] = Counter()
+        self._output_set = False
+
+    @property
+    def input(self) -> str:
+        """Name of the graph input placeholder."""
+        return self._graph.input_name
+
+    @property
+    def graph(self) -> ComputationGraph:
+        return self._graph
+
+    def _autoname(self, op: str, name: str | None) -> str:
+        if name is not None:
+            return name
+        self._counts[op] += 1
+        return f"{op}_{self._counts[op]}"
+
+    def node(self, op: str, inputs: Sequence[str], name: str | None = None, **attrs: Any) -> str:
+        """Append a node of arbitrary ``op``; returns the node name."""
+        cnode = CNode(name=self._autoname(op, name), op=op, inputs=list(inputs), attrs=dict(attrs))
+        self._graph.add_node(cnode)
+        return cnode.name
+
+    # -- convolution stacks -------------------------------------------------
+
+    def conv(self, x: str, out_channels: int, kernel: int | Tuple[int, int],
+             stride: int | Tuple[int, int] = 1, padding: int | Tuple[int, int] = 0,
+             name: str | None = None) -> str:
+        return self.node("conv2d", [x], name=name, out_channels=out_channels,
+                         kernel=kernel, stride=stride, padding=padding)
+
+    def dwconv(self, x: str, kernel: int | Tuple[int, int],
+               stride: int | Tuple[int, int] = 1, padding: int | Tuple[int, int] = 0,
+               channel_multiplier: int = 1, name: str | None = None) -> str:
+        return self.node("dwconv2d", [x], name=name, kernel=kernel, stride=stride,
+                         padding=padding, channel_multiplier=channel_multiplier)
+
+    def matmul(self, x: str, out_features: int, name: str | None = None) -> str:
+        return self.node("matmul", [x], name=name, out_features=out_features)
+
+    def bias_add(self, x: str, name: str | None = None) -> str:
+        return self.node("bias_add", [x], name=name)
+
+    # -- pooling -------------------------------------------------------------
+
+    def maxpool(self, x: str, kernel: int | Tuple[int, int],
+                stride: int | Tuple[int, int] | None = None,
+                padding: int | Tuple[int, int] = 0, name: str | None = None) -> str:
+        attrs: Dict[str, Any] = {"kernel": kernel, "padding": padding}
+        if stride is not None:
+            attrs["stride"] = stride
+        return self.node("maxpool2d", [x], name=name, **attrs)
+
+    def avgpool(self, x: str, kernel: int | Tuple[int, int],
+                stride: int | Tuple[int, int] | None = None,
+                padding: int | Tuple[int, int] = 0, name: str | None = None) -> str:
+        attrs: Dict[str, Any] = {"kernel": kernel, "padding": padding}
+        if stride is not None:
+            attrs["stride"] = stride
+        return self.node("avgpool2d", [x], name=name, **attrs)
+
+    def global_avgpool(self, x: str, name: str | None = None) -> str:
+        return self.node("global_avgpool", [x], name=name)
+
+    # -- element-wise ---------------------------------------------------------
+
+    def add(self, a: str, b: str, name: str | None = None) -> str:
+        return self.node("add", [a, b], name=name)
+
+    def mul(self, a: str, b: str, name: str | None = None) -> str:
+        return self.node("mul", [a, b], name=name)
+
+    def batchnorm(self, x: str, name: str | None = None) -> str:
+        return self.node("batchnorm", [x], name=name)
+
+    def relu(self, x: str, name: str | None = None) -> str:
+        return self.node("relu", [x], name=name)
+
+    def sigmoid(self, x: str, name: str | None = None) -> str:
+        return self.node("sigmoid", [x], name=name)
+
+    def tanh(self, x: str, name: str | None = None) -> str:
+        return self.node("tanh", [x], name=name)
+
+    def softmax(self, x: str, name: str | None = None) -> str:
+        return self.node("softmax", [x], name=name)
+
+    def lrn(self, x: str, size: int = 5, alpha: float = 1e-4, beta: float = 0.75,
+            k: float = 2.0, name: str | None = None) -> str:
+        return self.node("lrn", [x], name=name, size=size, alpha=alpha, beta=beta, k=k)
+
+    # -- structure ------------------------------------------------------------
+
+    def concat(self, inputs: Sequence[str], axis: int = 1, name: str | None = None) -> str:
+        return self.node("concat", list(inputs), name=name, axis=axis)
+
+    def flatten(self, x: str, name: str | None = None) -> str:
+        return self.node("flatten", [x], name=name)
+
+    def dropout(self, x: str, rate: float = 0.5, name: str | None = None) -> str:
+        return self.node("dropout", [x], name=name, rate=rate)
+
+    # -- composites -----------------------------------------------------------
+
+    def conv_block(self, x: str, out_channels: int, kernel: int | Tuple[int, int],
+                   stride: int | Tuple[int, int] = 1, padding: int | Tuple[int, int] = 0,
+                   prefix: str | None = None, bn: bool = False, act: str = "relu") -> str:
+        """Conv (+ BiasAdd or BatchNorm) + activation, the standard stack."""
+        names = {}
+        if prefix is not None:
+            names = {"conv": f"{prefix}.conv", "post": f"{prefix}.post", "act": f"{prefix}.{act}"}
+        x = self.conv(x, out_channels, kernel, stride, padding, name=names.get("conv"))
+        if bn:
+            x = self.batchnorm(x, name=names.get("post"))
+        else:
+            x = self.bias_add(x, name=names.get("post"))
+        if act:
+            x = self.node(act, [x], name=names.get("act"))
+        return x
+
+    def dense_block(self, x: str, out_features: int, act: str | None = "relu",
+                    prefix: str | None = None) -> str:
+        """MatMul + BiasAdd (+ activation): one fully-connected layer."""
+        names = {}
+        if prefix is not None:
+            names = {"fc": f"{prefix}.fc", "bias": f"{prefix}.bias", "act": f"{prefix}.{act}"}
+        x = self.matmul(x, out_features, name=names.get("fc"))
+        x = self.bias_add(x, name=names.get("bias"))
+        if act:
+            x = self.node(act, [x], name=names.get("act"))
+        return x
+
+    # -- finalisation -----------------------------------------------------------
+
+    def output(self, x: str) -> None:
+        self._graph.set_output(x)
+        self._output_set = True
+
+    def build(self) -> ComputationGraph:
+        """Validate and return the graph."""
+        if not self._output_set:
+            raise ValueError(f"graph {self._graph.name!r}: call output() before build()")
+        self._graph.validate()
+        return self._graph

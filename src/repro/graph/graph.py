@@ -1,0 +1,245 @@
+"""``ComputationGraph``: the backbone DAG plus attached Parameters.
+
+The graph owns a single input placeholder (the paper's virtual node ``L_0``
+corresponds to this placeholder) and a single output CNode.  The partition
+algorithm consumes two things from it:
+
+- a *deterministic* topological order ``L_1 .. L_n`` of the CNodes, and
+- the *transmission size* ``s_i`` of every cut of that order: the number of
+  bytes that must cross the device-to-server link when the graph is split
+  right after position ``i`` (``s_0`` is the input tensor size).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.graph.node import CNode, TensorSpec
+from repro.graph.ops import node_flops, op_spec
+
+INPUT_NAME = "input"
+
+
+class GraphError(ValueError):
+    """Structural problem in a computation graph."""
+
+
+@dataclass(frozen=True)
+class Cut:
+    """A cut of the topological order right after position ``index``.
+
+    ``index`` ranges over ``0..n``: 0 means "before any computation" (full
+    offloading), ``n`` means "after every node" (local inference).
+    ``crossing`` lists the producer nodes whose output tensors must be
+    transmitted; ``width`` is ``len(crossing)``.
+    """
+
+    index: int
+    crossing: Tuple[str, ...]
+    upload_bytes: int
+
+    @property
+    def width(self) -> int:
+        return len(self.crossing)
+
+
+class ComputationGraph:
+    """A DAG of CNodes with a single input placeholder and a single output."""
+
+    def __init__(self, name: str, input_spec: TensorSpec, input_name: str = INPUT_NAME) -> None:
+        self.name = name
+        self.input_name = input_name
+        self.input_spec = input_spec
+        self._nodes: Dict[str, CNode] = {}
+        self._output_name: str | None = None
+        self._topo_cache: List[str] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: CNode) -> CNode:
+        """Insert ``node``, inferring its output spec and parameters.
+
+        All of the node's inputs must already exist (the graph input
+        placeholder counts), which guarantees acyclicity by construction.
+        """
+        if node.name in self._nodes or node.name == self.input_name:
+            raise GraphError(f"duplicate node name {node.name!r}")
+        spec = op_spec(node.op)
+        spec.check_arity(len(node.inputs))
+        input_specs = [self._spec_of(name, node.name) for name in node.inputs]
+        node.output = spec.infer_shape(input_specs, node.attrs)
+        if spec.make_params is not None and not node.params:
+            node.params = spec.make_params(node.name, input_specs, node.attrs)
+        self._nodes[node.name] = node
+        self._topo_cache = None
+        return node
+
+    def set_output(self, name: str) -> None:
+        if name not in self._nodes:
+            raise GraphError(f"output node {name!r} does not exist")
+        self._output_name = name
+
+    def _spec_of(self, name: str, consumer: str) -> TensorSpec:
+        if name == self.input_name:
+            return self.input_spec
+        try:
+            producer = self._nodes[name]
+        except KeyError:
+            raise GraphError(f"node {consumer!r} references unknown input {name!r}") from None
+        assert producer.output is not None
+        return producer.output
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Dict[str, CNode]:
+        return self._nodes
+
+    @property
+    def output_name(self) -> str:
+        if self._output_name is None:
+            raise GraphError(f"graph {self.name!r} has no output set")
+        return self._output_name
+
+    @property
+    def output_spec(self) -> TensorSpec:
+        out = self._nodes[self.output_name].output
+        assert out is not None
+        return out
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> CNode:
+        return self._nodes[name]
+
+    def input_specs_of(self, node: CNode) -> List[TensorSpec]:
+        return [self._spec_of(name, node.name) for name in node.inputs]
+
+    def flops_of(self, name: str) -> int:
+        node = self._nodes[name]
+        assert node.output is not None
+        return node_flops(node.op, self.input_specs_of(node), node.output, node.attrs)
+
+    def total_flops(self) -> int:
+        return sum(self.flops_of(name) for name in self._nodes)
+
+    def total_param_bytes(self) -> int:
+        return sum(node.param_bytes for node in self._nodes.values())
+
+    def consumers(self) -> Dict[str, List[str]]:
+        """Map producer name -> consumer node names (graph input included)."""
+        out: Dict[str, List[str]] = {self.input_name: []}
+        for name in self._nodes:
+            out[name] = []
+        for node in self._nodes.values():
+            for dep in node.inputs:
+                out[dep].append(node.name)
+        return out
+
+    # ------------------------------------------------------------------
+    # Topological order and cuts
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Deterministic topological order of the backbone DAG.
+
+        Kahn's algorithm with a FIFO over insertion order, so the order is
+        stable across runs — partition indices in experiment output are
+        therefore reproducible.
+        """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
+        indegree = {name: 0 for name in self._nodes}
+        for node in self._nodes.values():
+            for dep in node.inputs:
+                if dep != self.input_name:
+                    indegree[node.name] += 1
+        consumers = self.consumers()
+        ready = deque(name for name in self._nodes if indegree[name] == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for consumer in consumers[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self._nodes):
+            raise GraphError(f"graph {self.name!r} contains a cycle")
+        self._topo_cache = order
+        return list(order)
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`GraphError` if violated."""
+        order = self.topological_order()
+        if not order:
+            raise GraphError(f"graph {self.name!r} is empty")
+        out = self.output_name  # raises if unset
+        consumers = self.consumers()
+        for name in order:
+            if name != out and not consumers[name]:
+                raise GraphError(f"node {name!r} is dead (no consumers, not the output)")
+        if consumers[out]:
+            raise GraphError(f"output node {out!r} has consumers {consumers[out]}")
+        if not consumers[self.input_name]:
+            raise GraphError("graph input is unused")
+
+    def cuts(self) -> List[Cut]:
+        """All cuts of the topological order: positions ``0..n``.
+
+        ``cuts()[i].upload_bytes`` is the paper's ``s_i``: the total size of
+        the tensors produced at positions ``<= i`` that are consumed at
+        positions ``> i``.  ``s_0`` is the graph input size and ``s_n`` is 0
+        (nothing to upload under local inference; the download of the result
+        is accounted separately via :attr:`output_spec`).
+        """
+        order = self.topological_order()
+        n = len(order)
+        position = {name: idx + 1 for idx, name in enumerate(order)}
+        position[self.input_name] = 0
+        # last_consumer[p] = max position of a consumer of the tensor produced
+        # at position p (0 = graph input).
+        last_consumer = [0] * (n + 1)
+        for node in self._nodes.values():
+            for dep in node.inputs:
+                p = position[dep]
+                last_consumer[p] = max(last_consumer[p], position[node.name])
+        sizes = [self.input_spec.nbytes] + [
+            self._nodes[name].output.nbytes  # type: ignore[union-attr]
+            for name in order
+        ]
+        names = [self.input_name] + order
+        cuts: List[Cut] = []
+        for i in range(n + 1):
+            crossing = tuple(names[p] for p in range(i + 1) if last_consumer[p] > i)
+            upload = sum(sizes[p] for p in range(i + 1) if last_consumer[p] > i)
+            cuts.append(Cut(index=i, crossing=crossing, upload_bytes=upload))
+        return cuts
+
+    def transmission_sizes(self) -> List[int]:
+        """The ``s_i`` array of the paper: upload bytes per cut position."""
+        return [cut.upload_bytes for cut in self.cuts()]
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable per-node table (name, op, output shape, MFLOPs)."""
+        lines = [f"graph {self.name}: input {self.input_spec}"]
+        for idx, name in enumerate(self.topological_order(), start=1):
+            node = self._nodes[name]
+            mflops = self.flops_of(name) / 1e6
+            lines.append(f"  L{idx:<4d} {name:<28s} {node.op:<14s} {str(node.output):<22s} {mflops:10.2f} MFLOPs")
+        lines.append(f"  total {self.total_flops() / 1e9:.3f} GFLOPs, params {self.total_param_bytes() / 1e6:.2f} MB")
+        return "\n".join(lines)

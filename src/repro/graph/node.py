@@ -1,0 +1,120 @@
+"""Node types of the computation-graph IR.
+
+The IR mirrors MindSpore's MindIR taxonomy used by the paper:
+
+- ``CNode`` — a computation node (one operator application).
+- ``Parameter`` — a weight/bias node.  The *backbone DAG* the partition
+  algorithm works on is the graph formed by the CNodes only (paper §III-D);
+  Parameters are restored when a segment is materialised into a subgraph.
+- ``TensorSpec`` — static shape/dtype metadata; transmission sizes are
+  computed from it (float32, so 4 bytes per element).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+DTYPE_SIZES = {"float32": 4, "float16": 2, "int8": 1, "int32": 4}
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Static description of a tensor: shape and dtype.
+
+    Shapes follow the NCHW convention for 4-D feature maps and ``(N, C)``
+    for 2-D activations.
+    """
+
+    shape: Tuple[int, ...]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if not self.shape:
+            raise ValueError("TensorSpec shape must be non-empty")
+        if any((not isinstance(d, int)) or d <= 0 for d in self.shape):
+            raise ValueError(f"TensorSpec shape must be positive ints, got {self.shape}")
+        if self.dtype not in DTYPE_SIZES:
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+
+    @property
+    def numel(self) -> int:
+        """Number of elements in the tensor."""
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the tensor in bytes."""
+        return self.numel * DTYPE_SIZES[self.dtype]
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.dtype}{list(self.shape)}"
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A weight node (e.g. a convolution filter or a bias vector).
+
+    Parameters hang off CNodes; they are not part of the backbone DAG.
+    ``role`` records the operand slot ("weight", "bias", "gamma", ...).
+    """
+
+    name: str
+    spec: TensorSpec
+    role: str = "weight"
+
+    @property
+    def nbytes(self) -> int:
+        return self.spec.nbytes
+
+
+@dataclass
+class CNode:
+    """A computation node: one application of an operator.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the graph.
+    op:
+        Operator name; must exist in :data:`repro.graph.ops.OP_REGISTRY`.
+    inputs:
+        Names of the producer CNodes (or the graph input placeholder).
+        Order matters for non-commutative ops.
+    attrs:
+        Operator attributes (kernel size, stride, padding, ...).
+    output:
+        Inferred output :class:`TensorSpec`.
+    params:
+        Parameters attached to this node, in operand order.
+    """
+
+    name: str
+    op: str
+    inputs: List[str]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    output: TensorSpec | None = None
+    params: List[Parameter] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("CNode name must be non-empty")
+        if len(set(self.inputs)) != len(self.inputs) and self.op not in ("add", "mul", "matmul"):
+            # Duplicated inputs are legal only for ops that may square a value.
+            raise ValueError(f"node {self.name!r} has duplicate inputs {self.inputs}")
+
+    @property
+    def param_bytes(self) -> int:
+        """Total size of the attached parameters in bytes."""
+        return sum(p.nbytes for p in self.params)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        out = str(self.output) if self.output is not None else "?"
+        return f"CNode({self.name!r}, op={self.op!r}, inputs={self.inputs}, out={out})"

@@ -1,0 +1,373 @@
+"""Operator registry: shape inference, FLOPs (Table I) and parameter rules.
+
+Every operator the model zoo uses is described by an :class:`OpSpec` in
+:data:`OP_REGISTRY`.  An OpSpec knows
+
+- how to infer the output :class:`~repro.graph.node.TensorSpec` from the
+  input specs and the node attributes,
+- which :class:`~repro.graph.node.Parameter` tensors the op carries,
+- its FLOPs, following Table I of the paper exactly, and
+- its *category*: the prediction-model kind (``conv``, ``dwconv``,
+  ``matmul``, ``pooling``, ``bias_add``, ``elementwise``, ``batchnorm``,
+  ``activation``) or ``None`` for ops without a prediction model — the paper
+  assigns those zero predicted time (§IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.graph.node import Parameter, TensorSpec
+
+# The 8 prediction-model categories of Tables I-III.
+CATEGORIES = (
+    "conv",
+    "dwconv",
+    "matmul",
+    "pooling",
+    "bias_add",
+    "elementwise",
+    "batchnorm",
+    "activation",
+)
+
+# Categories for fused kernels (the paper's §VI extension): one per anchor
+# kind.  Optional — the paper-faithful pipeline uses only CATEGORIES.
+FUSED_CATEGORIES = (
+    "conv_fused",
+    "dwconv_fused",
+    "matmul_fused",
+)
+
+#: Maps a fused category back to its anchor category (used for features).
+FUSED_ANCHOR_CATEGORY = {
+    "conv_fused": "conv",
+    "dwconv_fused": "dwconv",
+    "matmul_fused": "matmul",
+}
+
+
+def _pair(value: Any, name: str) -> Tuple[int, int]:
+    """Normalise an int-or-pair attribute to an ``(h, w)`` tuple."""
+    if isinstance(value, int):
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")
+        return (value, value)
+    pair = tuple(int(v) for v in value)
+    if len(pair) != 2 or any(v < 0 for v in pair):
+        raise ValueError(f"{name} must be an int or a pair of ints, got {value!r}")
+    return pair  # type: ignore[return-value]
+
+
+def _require_rank(spec: TensorSpec, rank: int, op: str) -> None:
+    if spec.rank != rank:
+        raise ValueError(f"{op} expects a rank-{rank} input, got {spec}")
+
+
+def _conv_out_hw(
+    h: int, w: int, kernel: Tuple[int, int], stride: Tuple[int, int], padding: Tuple[int, int]
+) -> Tuple[int, int]:
+    h_out = (h + 2 * padding[0] - kernel[0]) // stride[0] + 1
+    w_out = (w + 2 * padding[1] - kernel[1]) // stride[1] + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ValueError(
+            f"spatial dims collapse to {h_out}x{w_out} "
+            f"(in={h}x{w}, k={kernel}, s={stride}, p={padding})"
+        )
+    return h_out, w_out
+
+
+ShapeFn = Callable[[Sequence[TensorSpec], Dict[str, Any]], TensorSpec]
+ParamsFn = Callable[[str, Sequence[TensorSpec], Dict[str, Any]], List[Parameter]]
+FlopsFn = Callable[[Sequence[TensorSpec], TensorSpec, Dict[str, Any]], int]
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of an operator kind."""
+
+    name: str
+    category: str | None
+    min_inputs: int
+    max_inputs: int  # -1 means unbounded (concat, make_tuple)
+    infer_shape: ShapeFn
+    flops: FlopsFn
+    make_params: ParamsFn | None = None
+
+    def check_arity(self, n_inputs: int) -> None:
+        if n_inputs < self.min_inputs:
+            raise ValueError(f"{self.name} needs >= {self.min_inputs} inputs, got {n_inputs}")
+        if self.max_inputs >= 0 and n_inputs > self.max_inputs:
+            raise ValueError(f"{self.name} takes <= {self.max_inputs} inputs, got {n_inputs}")
+
+
+# ---------------------------------------------------------------------------
+# Shape inference
+# ---------------------------------------------------------------------------
+
+
+def _conv2d_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    spec = inputs[0]
+    _require_rank(spec, 4, "conv2d")
+    n, _c, h, w = spec.shape
+    kernel = _pair(attrs["kernel"], "kernel")
+    stride = _pair(attrs.get("stride", 1), "stride")
+    padding = _pair(attrs.get("padding", 0), "padding")
+    h_out, w_out = _conv_out_hw(h, w, kernel, stride, padding)
+    return TensorSpec((n, int(attrs["out_channels"]), h_out, w_out), spec.dtype)
+
+
+def _dwconv2d_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    spec = inputs[0]
+    _require_rank(spec, 4, "dwconv2d")
+    n, c, h, w = spec.shape
+    kernel = _pair(attrs["kernel"], "kernel")
+    stride = _pair(attrs.get("stride", 1), "stride")
+    padding = _pair(attrs.get("padding", 0), "padding")
+    mult = int(attrs.get("channel_multiplier", 1))
+    h_out, w_out = _conv_out_hw(h, w, kernel, stride, padding)
+    return TensorSpec((n, c * mult, h_out, w_out), spec.dtype)
+
+
+def _matmul_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    spec = inputs[0]
+    _require_rank(spec, 2, "matmul")
+    n, _c_in = spec.shape
+    return TensorSpec((n, int(attrs["out_features"])), spec.dtype)
+
+
+def _pool2d_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    spec = inputs[0]
+    _require_rank(spec, 4, "pooling")
+    n, c, h, w = spec.shape
+    kernel = _pair(attrs["kernel"], "kernel")
+    stride = _pair(attrs.get("stride", kernel), "stride")
+    padding = _pair(attrs.get("padding", 0), "padding")
+    h_out, w_out = _conv_out_hw(h, w, kernel, stride, padding)
+    return TensorSpec((n, c, h_out, w_out), spec.dtype)
+
+
+def _global_avgpool_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    spec = inputs[0]
+    _require_rank(spec, 4, "global_avgpool")
+    n, c, _h, _w = spec.shape
+    return TensorSpec((n, c, 1, 1), spec.dtype)
+
+
+def _same_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    return inputs[0]
+
+
+def _binary_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    a, b = inputs[0], inputs[1]
+    if a.shape != b.shape:
+        raise ValueError(f"element-wise op on mismatched shapes {a.shape} vs {b.shape}")
+    return a
+
+
+def _concat_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    axis = int(attrs.get("axis", 1))
+    base = inputs[0].shape
+    axis = axis % len(base)
+    total = 0
+    for spec in inputs:
+        shape = spec.shape
+        if len(shape) != len(base):
+            raise ValueError("concat inputs must share rank")
+        for i, (da, db) in enumerate(zip(base, shape)):
+            if i != axis and da != db:
+                raise ValueError(f"concat mismatch on axis {i}: {base} vs {shape}")
+        total += shape[axis]
+    out = list(base)
+    out[axis] = total
+    return TensorSpec(tuple(out), inputs[0].dtype)
+
+
+def _flatten_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    spec = inputs[0]
+    n = spec.shape[0]
+    rest = spec.numel // n
+    return TensorSpec((n, rest), spec.dtype)
+
+
+def _make_tuple_shape(inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> TensorSpec:
+    # A tuple is summarised as a flat spec carrying the combined payload; the
+    # executor special-cases the actual tuple-of-arrays value.
+    total = sum(spec.numel for spec in inputs)
+    return TensorSpec((total,), inputs[0].dtype)
+
+
+# ---------------------------------------------------------------------------
+# Parameters
+# ---------------------------------------------------------------------------
+
+
+def _conv2d_params(name: str, inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> List[Parameter]:
+    c_in = inputs[0].shape[1]
+    kernel = _pair(attrs["kernel"], "kernel")
+    c_out = int(attrs["out_channels"])
+    spec = TensorSpec((c_out, c_in, kernel[0], kernel[1]))
+    return [Parameter(f"{name}.weight", spec, role="weight")]
+
+
+def _dwconv2d_params(name: str, inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> List[Parameter]:
+    c_in = inputs[0].shape[1]
+    kernel = _pair(attrs["kernel"], "kernel")
+    mult = int(attrs.get("channel_multiplier", 1))
+    spec = TensorSpec((c_in * mult, 1, kernel[0], kernel[1]))
+    return [Parameter(f"{name}.weight", spec, role="weight")]
+
+
+def _matmul_params(name: str, inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> List[Parameter]:
+    c_in = inputs[0].shape[1]
+    c_out = int(attrs["out_features"])
+    return [Parameter(f"{name}.weight", TensorSpec((c_in, c_out)), role="weight")]
+
+
+def _bias_add_params(name: str, inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> List[Parameter]:
+    channels = inputs[0].shape[1]
+    return [Parameter(f"{name}.bias", TensorSpec((channels,)), role="bias")]
+
+
+def _batchnorm_params(name: str, inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> List[Parameter]:
+    channels = inputs[0].shape[1]
+    return [
+        Parameter(f"{name}.gamma", TensorSpec((channels,)), role="gamma"),
+        Parameter(f"{name}.beta", TensorSpec((channels,)), role="beta"),
+        Parameter(f"{name}.mean", TensorSpec((channels,)), role="mean"),
+        Parameter(f"{name}.var", TensorSpec((channels,)), role="var"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# FLOPs (Table I)
+# ---------------------------------------------------------------------------
+
+
+def _conv2d_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    n, c_in = inputs[0].shape[0], inputs[0].shape[1]
+    _n, c_out, h_out, w_out = out.shape
+    kh, kw = _pair(attrs["kernel"], "kernel")
+    return n * c_in * h_out * w_out * kh * kw * c_out
+
+
+def _dwconv2d_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    n, c_in = inputs[0].shape[0], inputs[0].shape[1]
+    _n, _c, h_out, w_out = out.shape
+    kh, kw = _pair(attrs["kernel"], "kernel")
+    return n * c_in * h_out * w_out * kh * kw
+
+
+def _matmul_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    n, c_in = inputs[0].shape
+    c_out = out.shape[1]
+    return n * c_in * c_out
+
+
+def _pool_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    n, c_out, h_out, w_out = out.shape
+    kh, kw = _pair(attrs["kernel"], "kernel")
+    return n * c_out * h_out * w_out * kh * kw
+
+
+def _global_pool_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    n, c, h, w = inputs[0].shape
+    return n * c * h * w
+
+
+def _elementwise_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    return inputs[0].numel
+
+
+def _zero_flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+OP_REGISTRY: Dict[str, OpSpec] = {}
+
+
+def _register(spec: OpSpec) -> None:
+    if spec.name in OP_REGISTRY:
+        raise ValueError(f"duplicate op {spec.name!r}")
+    OP_REGISTRY[spec.name] = spec
+
+
+_register(OpSpec("conv2d", "conv", 1, 1, _conv2d_shape, _conv2d_flops, _conv2d_params))
+_register(OpSpec("dwconv2d", "dwconv", 1, 1, _dwconv2d_shape, _dwconv2d_flops, _dwconv2d_params))
+_register(OpSpec("matmul", "matmul", 1, 1, _matmul_shape, _matmul_flops, _matmul_params))
+_register(OpSpec("maxpool2d", "pooling", 1, 1, _pool2d_shape, _pool_flops))
+_register(OpSpec("avgpool2d", "pooling", 1, 1, _pool2d_shape, _pool_flops))
+_register(OpSpec("global_avgpool", "pooling", 1, 1, _global_avgpool_shape, _global_pool_flops))
+_register(OpSpec("bias_add", "bias_add", 1, 1, _same_shape, _elementwise_flops, _bias_add_params))
+_register(OpSpec("add", "elementwise", 2, 2, _binary_shape, _elementwise_flops))
+_register(OpSpec("mul", "elementwise", 2, 2, _binary_shape, _elementwise_flops))
+_register(OpSpec("lrn", "elementwise", 1, 1, _same_shape, _elementwise_flops))
+_register(OpSpec("batchnorm", "batchnorm", 1, 1, _same_shape, _elementwise_flops, _batchnorm_params))
+_register(OpSpec("relu", "activation", 1, 1, _same_shape, _elementwise_flops))
+_register(OpSpec("sigmoid", "activation", 1, 1, _same_shape, _elementwise_flops))
+_register(OpSpec("tanh", "activation", 1, 1, _same_shape, _elementwise_flops))
+_register(OpSpec("softmax", "activation", 1, 1, _same_shape, _elementwise_flops))
+# Fused kernels (§VI extension): an anchor plus an element-wise epilogue.
+# The ``epilogue`` attr is a tuple of absorbed op names; shape inference is
+# the anchor's (epilogues preserve shape), FLOPs are the exact sum of the
+# unfused parts, and parameters concatenate anchor + epilogue parameters.
+
+
+def _epilogue_ops(attrs: Dict[str, Any]) -> Tuple[str, ...]:
+    return tuple(attrs.get("epilogue", ()))
+
+
+def _fused_flops(anchor_flops: FlopsFn) -> FlopsFn:
+    def flops(inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+        return anchor_flops(inputs, out, attrs) + len(_epilogue_ops(attrs)) * out.numel
+    return flops
+
+
+def _make_fused_params(anchor_op: str) -> ParamsFn:
+    anchor_spec_params = OP_REGISTRY[anchor_op].make_params
+    anchor_shape = OP_REGISTRY[anchor_op].infer_shape
+
+    def make(name: str, inputs: Sequence[TensorSpec], attrs: Dict[str, Any]) -> List[Parameter]:
+        assert anchor_spec_params is not None
+        params = list(anchor_spec_params(name, inputs, attrs))
+        out = anchor_shape(inputs, attrs)
+        for i, op in enumerate(_epilogue_ops(attrs)):
+            spec = OP_REGISTRY[op]
+            if spec.make_params is not None:
+                params.extend(spec.make_params(f"{name}.ep{i}", [out], {}))
+        return params
+
+    return make
+
+
+_register(OpSpec("fused_conv2d", "conv_fused", 1, 1, _conv2d_shape,
+                 _fused_flops(_conv2d_flops), _make_fused_params("conv2d")))
+_register(OpSpec("fused_dwconv2d", "dwconv_fused", 1, 1, _dwconv2d_shape,
+                 _fused_flops(_dwconv2d_flops), _make_fused_params("dwconv2d")))
+_register(OpSpec("fused_matmul", "matmul_fused", 1, 1, _matmul_shape,
+                 _fused_flops(_matmul_flops), _make_fused_params("matmul")))
+
+# Ops without a prediction model (paper §IV assigns them zero predicted time).
+_register(OpSpec("concat", None, 2, -1, _concat_shape, _zero_flops))
+_register(OpSpec("flatten", None, 1, 1, _flatten_shape, _zero_flops))
+_register(OpSpec("dropout", None, 1, 1, _same_shape, _zero_flops))
+_register(OpSpec("make_tuple", None, 1, -1, _make_tuple_shape, _zero_flops))
+_register(OpSpec("return", None, 1, 1, _same_shape, _zero_flops))
+
+
+def op_spec(op: str) -> OpSpec:
+    """Look up an operator, with a helpful error on unknown names."""
+    try:
+        return OP_REGISTRY[op]
+    except KeyError:
+        raise KeyError(f"unknown op {op!r}; known ops: {sorted(OP_REGISTRY)}") from None
+
+
+def node_flops(op: str, inputs: Sequence[TensorSpec], out: TensorSpec, attrs: Dict[str, Any]) -> int:
+    """FLOPs of one node per Table I of the paper."""
+    return op_spec(op).flops(inputs, out, attrs)

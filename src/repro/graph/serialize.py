@@ -1,0 +1,86 @@
+"""JSON serialisation of computation graphs.
+
+The on-the-wire model format used by the device/server runtime: both sides
+load the same model file, so a partition point is enough to agree on the
+split (paper §III-A).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.graph.graph import ComputationGraph
+from repro.graph.node import CNode, TensorSpec
+
+FORMAT_VERSION = 1
+
+
+def graph_to_json(graph: ComputationGraph) -> str:
+    """Serialise a graph to a JSON string (deterministic key order)."""
+    payload: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "input": {
+            "name": graph.input_name,
+            "shape": list(graph.input_spec.shape),
+            "dtype": graph.input_spec.dtype,
+        },
+        "output": graph.output_name,
+        "nodes": [
+            {
+                "name": node.name,
+                "op": node.op,
+                "inputs": list(node.inputs),
+                "attrs": _encode_attrs(node.attrs),
+            }
+            for node in (graph.node(n) for n in graph.topological_order())
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def graph_from_json(text: str) -> ComputationGraph:
+    """Rebuild a graph from :func:`graph_to_json` output.
+
+    Shapes and parameters are re-inferred, so a round-trip also re-validates
+    the graph.
+    """
+    payload = json.loads(text)
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    spec = TensorSpec(tuple(payload["input"]["shape"]), payload["input"]["dtype"])
+    graph = ComputationGraph(payload["name"], spec, input_name=payload["input"]["name"])
+    for entry in payload["nodes"]:
+        graph.add_node(
+            CNode(
+                name=entry["name"],
+                op=entry["op"],
+                inputs=list(entry["inputs"]),
+                attrs=_decode_attrs(entry["attrs"]),
+            )
+        )
+    graph.set_output(payload["output"])
+    graph.validate()
+    return graph
+
+
+def _encode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, tuple):
+            out[key] = {"__tuple__": list(value)}
+        else:
+            out[key] = value
+    return out
+
+
+def _decode_attrs(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, dict) and "__tuple__" in value:
+            out[key] = tuple(value["__tuple__"])
+        else:
+            out[key] = value
+    return out

@@ -1,0 +1,60 @@
+"""Hardware simulation: the testbed of Table IV, in software.
+
+The paper measures latencies on a Raspberry Pi 4 (user-end device) and a
+Xeon + Tesla T4 edge server.  Neither is available here, so this package
+provides calibrated parametric cost models that play the role of the
+physical hardware:
+
+- :class:`~repro.hardware.device_model.DeviceModel` — per-node CPU execution
+  times on the Pi-class device (compute + memory traffic + cache effects).
+- :class:`~repro.hardware.gpu_model.GpuModel` — per-kernel service times on
+  the T4-class GPU at zero background load.
+- :class:`~repro.hardware.gpu_scheduler.GpuScheduler` — a time-sliced,
+  kernel-granularity queueing simulator; GPU kernels are non-preemptive, so
+  contention with background tasks appears *between* kernels, which is
+  exactly the effect §III-C of the paper builds on.
+- :mod:`~repro.hardware.background` — background-load levels and time
+  schedules (30%..100%(l), 100%(h)) mirroring the paper's load generator.
+
+Every model exposes noiseless ``mean_*`` methods (used by tests and for
+calibration) and stochastic ``sample_*`` methods (used by the runtime).
+"""
+
+from repro.hardware.background import (
+    LOAD_LEVELS,
+    LoadLevel,
+    LoadSchedule,
+    fig2_levels,
+    fig9_schedule,
+)
+from repro.hardware.device_model import DeviceModel, DeviceParams
+from repro.hardware.energy import (
+    EnergyParams,
+    energy_decision,
+    energy_of_partition,
+    weighted_decision,
+)
+from repro.hardware.gpu_model import GpuModel, GpuParams
+from repro.hardware.gpu_scheduler import GpuScheduler
+from repro.hardware.specs import DEVICE_SPEC, EDGE_SERVER_SPEC, GPU_TIME_SLICE_S, HardwareSpec
+
+__all__ = [
+    "DEVICE_SPEC",
+    "DeviceModel",
+    "DeviceParams",
+    "EnergyParams",
+    "energy_decision",
+    "energy_of_partition",
+    "weighted_decision",
+    "EDGE_SERVER_SPEC",
+    "GPU_TIME_SLICE_S",
+    "GpuModel",
+    "GpuParams",
+    "GpuScheduler",
+    "HardwareSpec",
+    "LOAD_LEVELS",
+    "LoadLevel",
+    "LoadSchedule",
+    "fig2_levels",
+    "fig9_schedule",
+]

@@ -1,0 +1,108 @@
+"""Device energy model and energy-aware partitioning.
+
+Neurosurgeon (the paper's baseline) optimises mobile *energy* as well as
+latency; LoADPart's objective is latency-only.  This extension adds the
+energy dimension so the two objectives can be compared on the same
+machinery.  Billed to the device (the battery-powered side):
+
+- CPU energy for the head segment: ``P_cpu * device_time``,
+- radio energy for the upload/download: ``P_tx * upload_time`` and
+  ``P_rx * download_time``,
+- idle energy while waiting for the server: ``P_idle * server_time``.
+
+The total has exactly the structure of Problem (1) with per-term scaling,
+so the O(n) Algorithm-1 scan solves the energy and weighted
+(latency + lambda * energy) objectives too — see
+:func:`energy_decision` and :func:`weighted_decision`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.partition_algorithm import PartitionDecision, partition_decision
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Power draw of a Raspberry-Pi-class device, in watts.
+
+    Defaults follow published Pi 4 measurements: ~2.7 W idle, ~6.4 W under
+    full CPU load (so ~3.7 W of *active* compute power), and WiFi radio
+    around 1.3 W transmitting / 0.9 W receiving above idle.
+    """
+
+    cpu_active_w: float = 3.7
+    idle_w: float = 2.7
+    radio_tx_w: float = 1.3
+    radio_rx_w: float = 0.9
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_active_w, self.idle_w, self.radio_tx_w, self.radio_rx_w) < 0:
+            raise ValueError("power draws must be non-negative")
+
+
+def energy_of_partition(
+    point: int,
+    device_times: Sequence[float],
+    edge_times: Sequence[float],
+    sizes: Sequence[int],
+    bandwidth_up: float,
+    k: float = 1.0,
+    params: EnergyParams | None = None,
+) -> float:
+    """Device-side energy (J) of one partition choice."""
+    p = params or EnergyParams()
+    n = len(device_times)
+    compute = float(np.sum(device_times[:point])) * p.cpu_active_w
+    if point == n:
+        return compute
+    upload = sizes[point] * 8 / bandwidth_up
+    waiting = k * float(np.sum(edge_times[point:]))
+    return compute + upload * p.radio_tx_w + waiting * p.idle_w
+
+
+def energy_decision(
+    device_times: Sequence[float],
+    edge_times: Sequence[float],
+    sizes: Sequence[int],
+    bandwidth_up: float,
+    k: float = 1.0,
+    params: EnergyParams | None = None,
+) -> PartitionDecision:
+    """Minimise device energy instead of latency.
+
+    Reuses Algorithm 1 verbatim: scaling the device times by ``P_cpu``,
+    the server times by ``P_idle`` and the bandwidth by ``1 / P_tx`` turns
+    the latency objective into the energy objective, term by term.
+    """
+    p = params or EnergyParams()
+    device = np.asarray(device_times) * p.cpu_active_w
+    edge = np.asarray(edge_times) * p.idle_w
+    bandwidth = bandwidth_up / p.radio_tx_w if p.radio_tx_w > 0 else bandwidth_up * 1e12
+    return partition_decision(device, edge, sizes, bandwidth, k=k)
+
+
+def weighted_decision(
+    device_times: Sequence[float],
+    edge_times: Sequence[float],
+    sizes: Sequence[int],
+    bandwidth_up: float,
+    k: float = 1.0,
+    energy_weight: float = 0.5,
+    params: EnergyParams | None = None,
+) -> PartitionDecision:
+    """Minimise ``latency + energy_weight * energy`` (J weighted into s).
+
+    ``energy_weight`` is in seconds per joule; 0 recovers pure latency.
+    """
+    if energy_weight < 0:
+        raise ValueError("energy_weight must be non-negative")
+    p = params or EnergyParams()
+    device = np.asarray(device_times) * (1.0 + energy_weight * p.cpu_active_w)
+    edge = np.asarray(edge_times) * (1.0 + energy_weight * p.idle_w)
+    bandwidth = bandwidth_up / (1.0 + energy_weight * p.radio_tx_w)
+    return partition_decision(device, edge, sizes, bandwidth, k=k)

@@ -1,0 +1,84 @@
+"""Model zoo: the DNNs the paper evaluates or uses as background load.
+
+Evaluated (paper §V): AlexNet, VGG16, ResNet18, ResNet50, SqueezeNet,
+Xception.  Used elsewhere: ResNet101 (Fig. 2), ResNet152 (background load
+generator), InceptionV3 (the §III-D block-cut analysis).
+
+All models are built as :class:`~repro.graph.graph.ComputationGraph` objects
+with batch size 1 and the input sizes of the paper: 1x3x227x227 for
+SqueezeNet, 1x3x299x299 for Xception/InceptionV3, 1x3x224x224 otherwise.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.graph.graph import ComputationGraph
+from repro.models.alexnet import build_alexnet
+from repro.models.inception import build_inception_v3
+from repro.models.mobilenet import build_mobilenet_v1, build_mobilenet_v2
+from repro.models.resnet import build_resnet
+from repro.models.squeezenet import build_squeezenet
+from repro.models.vgg import build_vgg16
+from repro.models.xception import build_xception
+
+MODEL_BUILDERS: Dict[str, Callable[[], ComputationGraph]] = {
+    "alexnet": build_alexnet,
+    "vgg16": build_vgg16,
+    "resnet18": lambda: build_resnet(18),
+    "resnet50": lambda: build_resnet(50),
+    "resnet101": lambda: build_resnet(101),
+    "resnet152": lambda: build_resnet(152),
+    "squeezenet": build_squeezenet,
+    "xception": build_xception,
+    "inception_v3": build_inception_v3,
+    "mobilenet_v1": build_mobilenet_v1,
+    "mobilenet_v2": build_mobilenet_v2,
+}
+
+#: The six DNNs of the paper's evaluation section, in its order.
+EVALUATED_MODELS: List[str] = [
+    "alexnet",
+    "squeezenet",
+    "vgg16",
+    "resnet18",
+    "resnet50",
+    "xception",
+]
+
+_CACHE: Dict[str, ComputationGraph] = {}
+
+
+def build_model(name: str) -> ComputationGraph:
+    """Build a fresh computation graph for ``name`` (no caching)."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_BUILDERS)}") from None
+    return builder()
+
+
+def get_model(name: str) -> ComputationGraph:
+    """Build-or-fetch a shared, read-only graph instance for ``name``."""
+    if name not in _CACHE:
+        _CACHE[name] = build_model(name)
+    return _CACHE[name]
+
+
+def list_models() -> List[str]:
+    return sorted(MODEL_BUILDERS)
+
+
+__all__ = [
+    "EVALUATED_MODELS",
+    "MODEL_BUILDERS",
+    "build_alexnet",
+    "build_inception_v3",
+    "build_mobilenet_v1",
+    "build_mobilenet_v2",
+    "build_model",
+    "build_resnet",
+    "build_squeezenet",
+    "build_vgg16",
+    "build_xception",
+    "get_model",
+    "list_models",
+]

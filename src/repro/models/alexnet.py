@@ -1,0 +1,28 @@
+"""AlexNet (Krizhevsky et al., 2012), torchvision-style geometry.
+
+The backbone has exactly 27 computation nodes, matching the partition
+indices the paper reports: p=4 is right after MaxPool-1, p=8 right after
+MaxPool-2 (the sweet spot of Fig. 1), p=19 right after Flatten, and p=27 is
+local inference.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+
+def build_alexnet(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("alexnet", (1, 3, 224, 224))
+    x = b.conv_block(b.input, 64, kernel=11, stride=4, padding=2, prefix="conv1")
+    x = b.maxpool(x, kernel=3, stride=2, name="maxpool1")
+    x = b.conv_block(x, 192, kernel=5, padding=2, prefix="conv2")
+    x = b.maxpool(x, kernel=3, stride=2, name="maxpool2")
+    x = b.conv_block(x, 384, kernel=3, padding=1, prefix="conv3")
+    x = b.conv_block(x, 256, kernel=3, padding=1, prefix="conv4")
+    x = b.conv_block(x, 256, kernel=3, padding=1, prefix="conv5")
+    x = b.maxpool(x, kernel=3, stride=2, name="maxpool3")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, 4096, prefix="fc6")
+    x = b.dense_block(x, 4096, prefix="fc7")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc8")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,105 @@
+"""InceptionV3 (Szegedy et al., 2016), input 1x3x299x299.
+
+Used by the paper's §III-D block analysis: cutting *inside* an Inception
+block always crosses several branch tensors, whose combined size exceeds
+the 1.02 MB input, so the optimal partition point can never lie inside a
+block — which justifies the linear scan over the topological order.
+"""
+
+from typing import Sequence
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+
+def _cbr(b: GraphBuilder, x: str, out_channels: int, kernel, prefix: str,
+         stride=1, padding=0) -> str:
+    return b.conv_block(x, out_channels, kernel=kernel, stride=stride,
+                        padding=padding, bn=True, prefix=prefix)
+
+
+def _inception_a(b: GraphBuilder, x: str, pool_channels: int, prefix: str) -> str:
+    b1 = _cbr(b, x, 64, 1, f"{prefix}.b1")
+    b2 = _cbr(b, x, 48, 1, f"{prefix}.b2a")
+    b2 = _cbr(b, b2, 64, 5, f"{prefix}.b2b", padding=2)
+    b3 = _cbr(b, x, 64, 1, f"{prefix}.b3a")
+    b3 = _cbr(b, b3, 96, 3, f"{prefix}.b3b", padding=1)
+    b3 = _cbr(b, b3, 96, 3, f"{prefix}.b3c", padding=1)
+    b4 = b.avgpool(x, kernel=3, stride=1, padding=1, name=f"{prefix}.pool")
+    b4 = _cbr(b, b4, pool_channels, 1, f"{prefix}.b4")
+    return b.concat([b1, b2, b3, b4], name=f"{prefix}.concat")
+
+
+def _reduction_a(b: GraphBuilder, x: str, prefix: str) -> str:
+    b1 = _cbr(b, x, 384, 3, f"{prefix}.b1", stride=2)
+    b2 = _cbr(b, x, 64, 1, f"{prefix}.b2a")
+    b2 = _cbr(b, b2, 96, 3, f"{prefix}.b2b", padding=1)
+    b2 = _cbr(b, b2, 96, 3, f"{prefix}.b2c", stride=2)
+    b3 = b.maxpool(x, kernel=3, stride=2, name=f"{prefix}.pool")
+    return b.concat([b1, b2, b3], name=f"{prefix}.concat")
+
+
+def _inception_b(b: GraphBuilder, x: str, mid: int, prefix: str) -> str:
+    b1 = _cbr(b, x, 192, 1, f"{prefix}.b1")
+    b2 = _cbr(b, x, mid, 1, f"{prefix}.b2a")
+    b2 = _cbr(b, b2, mid, (1, 7), f"{prefix}.b2b", padding=(0, 3))
+    b2 = _cbr(b, b2, 192, (7, 1), f"{prefix}.b2c", padding=(3, 0))
+    b3 = _cbr(b, x, mid, 1, f"{prefix}.b3a")
+    b3 = _cbr(b, b3, mid, (7, 1), f"{prefix}.b3b", padding=(3, 0))
+    b3 = _cbr(b, b3, mid, (1, 7), f"{prefix}.b3c", padding=(0, 3))
+    b3 = _cbr(b, b3, mid, (7, 1), f"{prefix}.b3d", padding=(3, 0))
+    b3 = _cbr(b, b3, 192, (1, 7), f"{prefix}.b3e", padding=(0, 3))
+    b4 = b.avgpool(x, kernel=3, stride=1, padding=1, name=f"{prefix}.pool")
+    b4 = _cbr(b, b4, 192, 1, f"{prefix}.b4")
+    return b.concat([b1, b2, b3, b4], name=f"{prefix}.concat")
+
+
+def _reduction_b(b: GraphBuilder, x: str, prefix: str) -> str:
+    b1 = _cbr(b, x, 192, 1, f"{prefix}.b1a")
+    b1 = _cbr(b, b1, 320, 3, f"{prefix}.b1b", stride=2)
+    b2 = _cbr(b, x, 192, 1, f"{prefix}.b2a")
+    b2 = _cbr(b, b2, 192, (1, 7), f"{prefix}.b2b", padding=(0, 3))
+    b2 = _cbr(b, b2, 192, (7, 1), f"{prefix}.b2c", padding=(3, 0))
+    b2 = _cbr(b, b2, 192, 3, f"{prefix}.b2d", stride=2)
+    b3 = b.maxpool(x, kernel=3, stride=2, name=f"{prefix}.pool")
+    return b.concat([b1, b2, b3], name=f"{prefix}.concat")
+
+
+def _inception_c(b: GraphBuilder, x: str, prefix: str) -> str:
+    b1 = _cbr(b, x, 320, 1, f"{prefix}.b1")
+    b2 = _cbr(b, x, 384, 1, f"{prefix}.b2a")
+    b2l = _cbr(b, b2, 384, (1, 3), f"{prefix}.b2b", padding=(0, 1))
+    b2r = _cbr(b, b2, 384, (3, 1), f"{prefix}.b2c", padding=(1, 0))
+    b2 = b.concat([b2l, b2r], name=f"{prefix}.b2concat")
+    b3 = _cbr(b, x, 448, 1, f"{prefix}.b3a")
+    b3 = _cbr(b, b3, 384, 3, f"{prefix}.b3b", padding=1)
+    b3l = _cbr(b, b3, 384, (1, 3), f"{prefix}.b3c", padding=(0, 1))
+    b3r = _cbr(b, b3, 384, (3, 1), f"{prefix}.b3d", padding=(1, 0))
+    b3 = b.concat([b3l, b3r], name=f"{prefix}.b3concat")
+    b4 = b.avgpool(x, kernel=3, stride=1, padding=1, name=f"{prefix}.pool")
+    b4 = _cbr(b, b4, 192, 1, f"{prefix}.b4")
+    return b.concat([b1, b2, b3, b4], name=f"{prefix}.concat")
+
+
+def build_inception_v3(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("inception_v3", (1, 3, 299, 299))
+    x = _cbr(b, b.input, 32, 3, "stem1", stride=2)
+    x = _cbr(b, x, 32, 3, "stem2")
+    x = _cbr(b, x, 64, 3, "stem3", padding=1)
+    x = b.maxpool(x, kernel=3, stride=2, name="stem.pool1")
+    x = _cbr(b, x, 80, 1, "stem4")
+    x = _cbr(b, x, 192, 3, "stem5")
+    x = b.maxpool(x, kernel=3, stride=2, name="stem.pool2")
+    for i, pool_channels in enumerate((32, 64, 64), start=1):
+        x = _inception_a(b, x, pool_channels, prefix=f"mixedA{i}")
+    x = _reduction_a(b, x, prefix="reductionA")
+    for i, mid in enumerate((128, 160, 160, 192), start=1):
+        x = _inception_b(b, x, mid, prefix=f"mixedB{i}")
+    x = _reduction_b(b, x, prefix="reductionB")
+    for i in range(1, 3):
+        x = _inception_c(b, x, prefix=f"mixedC{i}")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,93 @@
+"""MobileNetV1/V2 (Howard et al., 2017; Sandler et al., 2018).
+
+Not evaluated in the paper, but the natural stress test for its DWConv
+prediction models (Tables I-III): almost every kernel is a depth-wise or
+pointwise convolution.  V2's inverted residual blocks also exercise the
+DAG machinery with skip connections around *narrow* bottlenecks, which is
+where its cheap cuts live.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+# MobileNetV1: (out_channels, stride) per depth-wise separable block.
+_V1_BLOCKS = [
+    (64, 1), (128, 2), (128, 1), (256, 2), (256, 1), (512, 2),
+    (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (1024, 2), (1024, 1),
+]
+
+# MobileNetV2: (expansion, out_channels, repeats, first_stride).
+_V2_BLOCKS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _dw_separable(b: GraphBuilder, x: str, out_channels: int, stride: int,
+                  prefix: str) -> str:
+    x = b.dwconv(x, kernel=3, stride=stride, padding=1, name=f"{prefix}.dw")
+    x = b.batchnorm(x, name=f"{prefix}.dwbn")
+    x = b.relu(x, name=f"{prefix}.dwrelu")
+    x = b.conv(x, out_channels, kernel=1, name=f"{prefix}.pw")
+    x = b.batchnorm(x, name=f"{prefix}.pwbn")
+    return b.relu(x, name=f"{prefix}.pwrelu")
+
+
+def build_mobilenet_v1(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("mobilenet_v1", (1, 3, 224, 224))
+    x = b.conv_block(b.input, 32, kernel=3, stride=2, padding=1, bn=True, prefix="stem")
+    for i, (channels, stride) in enumerate(_V1_BLOCKS, start=1):
+        x = _dw_separable(b, x, channels, stride, prefix=f"block{i}")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc")
+    b.output(x)
+    return b.build()
+
+
+def _channels_of(b: GraphBuilder, name: str) -> int:
+    node = b.graph.node(name)
+    assert node.output is not None
+    return node.output.shape[1]
+
+
+def _inverted_residual(b: GraphBuilder, x: str, expansion: int, out_channels: int,
+                       stride: int, prefix: str) -> str:
+    in_channels = _channels_of(b, x)
+    identity = x
+    out = x
+    if expansion != 1:
+        out = b.conv(out, in_channels * expansion, kernel=1, name=f"{prefix}.expand")
+        out = b.batchnorm(out, name=f"{prefix}.expandbn")
+        out = b.relu(out, name=f"{prefix}.expandrelu")
+    out = b.dwconv(out, kernel=3, stride=stride, padding=1, name=f"{prefix}.dw")
+    out = b.batchnorm(out, name=f"{prefix}.dwbn")
+    out = b.relu(out, name=f"{prefix}.dwrelu")
+    out = b.conv(out, out_channels, kernel=1, name=f"{prefix}.project")
+    out = b.batchnorm(out, name=f"{prefix}.projectbn")
+    if stride == 1 and in_channels == out_channels:
+        out = b.add(out, identity, name=f"{prefix}.add")
+    return out
+
+
+def build_mobilenet_v2(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("mobilenet_v2", (1, 3, 224, 224))
+    x = b.conv_block(b.input, 32, kernel=3, stride=2, padding=1, bn=True, prefix="stem")
+    block = 0
+    for expansion, channels, repeats, first_stride in _V2_BLOCKS:
+        for i in range(repeats):
+            block += 1
+            stride = first_stride if i == 0 else 1
+            x = _inverted_residual(b, x, expansion, channels, stride,
+                                   prefix=f"block{block}")
+    x = b.conv_block(x, 1280, kernel=1, bn=True, prefix="head")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,81 @@
+"""ResNet-18/50/101/152 (He et al., 2016).
+
+ResNet-18 uses basic blocks, the deeper variants use bottleneck blocks.
+Residual blocks contain branches, so these models exercise the DAG handling
+of the partition algorithm: a cut inside a block crosses two tensors
+(main path + shortcut), which is why the paper's block analysis rules such
+cuts out (§III-D).
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+_LAYER_CONFIGS = {
+    18: ("basic", [2, 2, 2, 2]),
+    34: ("basic", [3, 4, 6, 3]),
+    50: ("bottleneck", [3, 4, 6, 3]),
+    101: ("bottleneck", [3, 4, 23, 3]),
+    152: ("bottleneck", [3, 8, 36, 3]),
+}
+
+
+def _basic_block(b: GraphBuilder, x: str, channels: int, stride: int, prefix: str) -> str:
+    identity = x
+    out = b.conv_block(x, channels, kernel=3, stride=stride, padding=1, bn=True,
+                       prefix=f"{prefix}.conv1")
+    out = b.conv(out, channels, kernel=3, padding=1, name=f"{prefix}.conv2.conv")
+    out = b.batchnorm(out, name=f"{prefix}.conv2.post")
+    if stride != 1 or _in_channels(b, identity) != channels:
+        identity = b.conv(identity, channels, kernel=1, stride=stride,
+                          name=f"{prefix}.down.conv")
+        identity = b.batchnorm(identity, name=f"{prefix}.down.post")
+    out = b.add(out, identity, name=f"{prefix}.add")
+    return b.relu(out, name=f"{prefix}.relu")
+
+
+def _bottleneck_block(b: GraphBuilder, x: str, channels: int, stride: int, prefix: str) -> str:
+    identity = x
+    expanded = channels * 4
+    out = b.conv_block(x, channels, kernel=1, bn=True, prefix=f"{prefix}.conv1")
+    out = b.conv_block(out, channels, kernel=3, stride=stride, padding=1, bn=True,
+                       prefix=f"{prefix}.conv2")
+    out = b.conv(out, expanded, kernel=1, name=f"{prefix}.conv3.conv")
+    out = b.batchnorm(out, name=f"{prefix}.conv3.post")
+    if stride != 1 or _in_channels(b, identity) != expanded:
+        identity = b.conv(identity, expanded, kernel=1, stride=stride,
+                          name=f"{prefix}.down.conv")
+        identity = b.batchnorm(identity, name=f"{prefix}.down.post")
+    out = b.add(out, identity, name=f"{prefix}.add")
+    return b.relu(out, name=f"{prefix}.relu")
+
+
+def _in_channels(b: GraphBuilder, name: str) -> int:
+    if name == b.input:
+        return b.graph.input_spec.shape[1]
+    node = b.graph.node(name)
+    assert node.output is not None
+    return node.output.shape[1]
+
+
+def build_resnet(depth: int, num_classes: int = 1000) -> ComputationGraph:
+    """Build a ResNet of the given ``depth`` (18, 34, 50, 101 or 152)."""
+    try:
+        kind, repeats = _LAYER_CONFIGS[depth]
+    except KeyError:
+        raise ValueError(f"unsupported ResNet depth {depth}; choose from {sorted(_LAYER_CONFIGS)}") from None
+    block = _basic_block if kind == "basic" else _bottleneck_block
+
+    b = GraphBuilder(f"resnet{depth}", (1, 3, 224, 224))
+    x = b.conv_block(b.input, 64, kernel=7, stride=2, padding=3, bn=True, prefix="stem")
+    x = b.maxpool(x, kernel=3, stride=2, padding=1, name="stem.maxpool")
+    channels = 64
+    for stage, count in enumerate(repeats, start=1):
+        for i in range(1, count + 1):
+            stride = 2 if (stage > 1 and i == 1) else 1
+            x = block(b, x, channels, stride, prefix=f"layer{stage}.{i}")
+        channels *= 2
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,52 @@
+"""SqueezeNet v1.1 (Iandola et al., 2016), input 1x3x227x227 as in the paper.
+
+Fire modules squeeze with 1x1 convolutions and expand with parallel 1x1 and
+3x3 branches joined by a concat, so the backbone is a DAG.  The concat
+outputs are the natural (width-1) partition candidates.  We use the v1.1
+geometry (3x3 stem, early pooling): its mid-network cuts transmit less than
+the input tensor, which is what lets the paper's SqueezeNet trace oscillate
+between a mid-network partition point and local inference as the server
+load varies (Fig. 9).
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+# (squeeze, expand1x1, expand3x3) per fire module, SqueezeNet v1.1.
+_FIRE_CONFIGS = [
+    (16, 64, 64),    # fire2
+    (16, 64, 64),    # fire3
+    (32, 128, 128),  # fire4
+    (32, 128, 128),  # fire5
+    (48, 192, 192),  # fire6
+    (48, 192, 192),  # fire7
+    (64, 256, 256),  # fire8
+    (64, 256, 256),  # fire9
+]
+
+#: Fire modules followed by a max-pool in v1.1 (after fire3 and fire5;
+#: the first pool follows conv1).
+_POOL_AFTER = (3, 5)
+
+
+def _fire(b: GraphBuilder, x: str, squeeze: int, e1: int, e3: int, prefix: str) -> str:
+    s = b.conv_block(x, squeeze, kernel=1, prefix=f"{prefix}.squeeze")
+    left = b.conv_block(s, e1, kernel=1, prefix=f"{prefix}.expand1x1")
+    right = b.conv_block(s, e3, kernel=3, padding=1, prefix=f"{prefix}.expand3x3")
+    return b.concat([left, right], axis=1, name=f"{prefix}.concat")
+
+
+def build_squeezenet(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("squeezenet", (1, 3, 227, 227))
+    x = b.conv_block(b.input, 64, kernel=3, stride=2, prefix="conv1")
+    x = b.maxpool(x, kernel=3, stride=2, name="maxpool1")
+    for idx, cfg in enumerate(_FIRE_CONFIGS, start=2):
+        x = _fire(b, x, *cfg, prefix=f"fire{idx}")
+        if idx in _POOL_AFTER:
+            x = b.maxpool(x, kernel=3, stride=2, name=f"maxpool{idx}")
+    x = b.dropout(x, rate=0.5, name="dropout")
+    x = b.conv_block(x, num_classes, kernel=1, prefix="conv10")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x, name="flatten")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,33 @@
+"""VGG16 (Simonyan & Zisserman, 2015).
+
+13 convolutional layers in 5 stages plus 3 fully-connected layers.  On the
+paper's testbed this model always fully offloads: the Raspberry-Pi-class
+device is so slow that running *any* prefix locally loses to uploading the
+raw input, even at 1 Mbps (paper §V-B).
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+_STAGES = [
+    (64, 2),
+    (128, 2),
+    (256, 3),
+    (512, 3),
+    (512, 3),
+]
+
+
+def build_vgg16(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("vgg16", (1, 3, 224, 224))
+    x = b.input
+    for stage, (channels, repeats) in enumerate(_STAGES, start=1):
+        for layer in range(1, repeats + 1):
+            x = b.conv_block(x, channels, kernel=3, padding=1, prefix=f"conv{stage}_{layer}")
+        x = b.maxpool(x, kernel=2, stride=2, name=f"maxpool{stage}")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, 4096, prefix="fc6")
+    x = b.dense_block(x, 4096, prefix="fc7")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc8")
+    b.output(x)
+    return b.build()

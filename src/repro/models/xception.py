@@ -1,0 +1,70 @@
+"""Xception (Chollet, 2017), input 1x3x299x299 as in the paper.
+
+Exercises depth-wise separable convolutions (the DWConv prediction model of
+Tables I-III) and residual branches.  On the paper's testbed Xception is
+either run locally or fully offloaded; local inference is ~1.8 s.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+
+def _sepconv(b: GraphBuilder, x: str, out_channels: int, prefix: str) -> str:
+    """Depth-wise separable convolution: DWConv 3x3 + pointwise Conv + BN."""
+    x = b.dwconv(x, kernel=3, padding=1, name=f"{prefix}.dw")
+    x = b.conv(x, out_channels, kernel=1, name=f"{prefix}.pw")
+    return b.batchnorm(x, name=f"{prefix}.bn")
+
+
+def _entry_block(b: GraphBuilder, x: str, out_channels: int, prefix: str,
+                 first_relu: bool = True) -> str:
+    shortcut = b.conv(x, out_channels, kernel=1, stride=2, name=f"{prefix}.short.conv")
+    shortcut = b.batchnorm(shortcut, name=f"{prefix}.short.bn")
+    out = x
+    if first_relu:
+        out = b.relu(out, name=f"{prefix}.relu1")
+    out = _sepconv(b, out, out_channels, prefix=f"{prefix}.sep1")
+    out = b.relu(out, name=f"{prefix}.relu2")
+    out = _sepconv(b, out, out_channels, prefix=f"{prefix}.sep2")
+    out = b.maxpool(out, kernel=3, stride=2, padding=1, name=f"{prefix}.pool")
+    return b.add(out, shortcut, name=f"{prefix}.add")
+
+
+def _middle_block(b: GraphBuilder, x: str, prefix: str) -> str:
+    out = x
+    for i in range(1, 4):
+        out = b.relu(out, name=f"{prefix}.relu{i}")
+        out = _sepconv(b, out, 728, prefix=f"{prefix}.sep{i}")
+    return b.add(out, x, name=f"{prefix}.add")
+
+
+def build_xception(num_classes: int = 1000) -> ComputationGraph:
+    b = GraphBuilder("xception", (1, 3, 299, 299))
+    # Entry flow stem.
+    x = b.conv_block(b.input, 32, kernel=3, stride=2, bn=True, prefix="stem1")
+    x = b.conv_block(x, 64, kernel=3, bn=True, prefix="stem2")
+    # Entry flow blocks (the first has no leading ReLU, as in the paper's model).
+    x = _entry_block(b, x, 128, prefix="entry1", first_relu=False)
+    x = _entry_block(b, x, 256, prefix="entry2")
+    x = _entry_block(b, x, 728, prefix="entry3")
+    # Middle flow: 8 residual blocks.
+    for i in range(1, 9):
+        x = _middle_block(b, x, prefix=f"middle{i}")
+    # Exit flow.
+    shortcut = b.conv(x, 1024, kernel=1, stride=2, name="exit.short.conv")
+    shortcut = b.batchnorm(shortcut, name="exit.short.bn")
+    out = b.relu(x, name="exit.relu1")
+    out = _sepconv(b, out, 728, prefix="exit.sep1")
+    out = b.relu(out, name="exit.relu2")
+    out = _sepconv(b, out, 1024, prefix="exit.sep2")
+    out = b.maxpool(out, kernel=3, stride=2, padding=1, name="exit.pool")
+    x = b.add(out, shortcut, name="exit.add")
+    x = _sepconv(b, x, 1536, prefix="exit.sep3")
+    x = b.relu(x, name="exit.relu3")
+    x = _sepconv(b, x, 2048, prefix="exit.sep4")
+    x = b.relu(x, name="exit.relu4")
+    x = b.global_avgpool(x, name="avgpool")
+    x = b.flatten(x, name="flatten")
+    x = b.dense_block(x, num_classes, act=None, prefix="fc")
+    b.output(x)
+    return b.build()

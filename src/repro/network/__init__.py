@@ -1,0 +1,31 @@
+"""Network substrate: the WiFi link between device and edge server.
+
+Provides the transfer-time model (:mod:`channel`), time-varying bandwidth
+traces used by the experiments (:mod:`traces`), and the paper's
+sliding-window bandwidth estimator combining active probes with passive
+measurements of offloading transfers (:mod:`estimator`, §IV).
+"""
+
+from repro.network.channel import Channel, NetworkParams
+from repro.network.codec import EncodedTensor, TensorCodec
+from repro.network.estimator import BandwidthEstimator
+from repro.network.traces import (
+    BandwidthTrace,
+    ConstantTrace,
+    RandomWalkTrace,
+    StepTrace,
+    fig6_trace,
+)
+
+__all__ = [
+    "BandwidthEstimator",
+    "BandwidthTrace",
+    "Channel",
+    "ConstantTrace",
+    "EncodedTensor",
+    "TensorCodec",
+    "NetworkParams",
+    "RandomWalkTrace",
+    "StepTrace",
+    "fig6_trace",
+]

@@ -1,0 +1,48 @@
+"""Transfer-time model of the device-server link."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.device_model import lognormal_factor
+from repro.network.traces import BandwidthTrace
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Link constants beyond raw bandwidth."""
+
+    base_latency_s: float = 2.0e-3   # per-message propagation + stack latency
+    jitter_sigma: float = 0.05       # lognormal multiplicative jitter on transfers
+
+
+class Channel:
+    """The WiFi link: computes transfer times against a bandwidth trace."""
+
+    def __init__(self, trace: BandwidthTrace, params: NetworkParams | None = None) -> None:
+        self.trace = trace
+        self.params = params or NetworkParams()
+
+    def mean_upload_time(self, nbytes: int, t: float) -> float:
+        """Noiseless upload duration of ``nbytes`` starting at time ``t``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.params.base_latency_s + nbytes * 8 / self.trace.upload_at(t)
+
+    def mean_download_time(self, nbytes: int, t: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.params.base_latency_s + nbytes * 8 / self.trace.download_at(t)
+
+    def upload_time(self, nbytes: int, t: float, rng: np.random.Generator) -> float:
+        """One noisy upload duration sample."""
+        return self.mean_upload_time(nbytes, t) * lognormal_factor(rng, self.params.jitter_sigma)
+
+    def download_time(self, nbytes: int, t: float, rng: np.random.Generator) -> float:
+        return self.mean_download_time(nbytes, t) * lognormal_factor(rng, self.params.jitter_sigma)

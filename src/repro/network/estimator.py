@@ -1,0 +1,89 @@
+"""The device-side bandwidth estimator (paper §IV).
+
+The runtime profiler thread measures the available upload bandwidth in two
+ways: periodically sending probe packets whose size adapts to the sliding
+window's history, and passively, from the measured upload durations of
+actual offloading transfers in the main thread.  Both kinds of samples land
+in one sliding window; the estimate is the window median (robust to the
+heavy-tailed outliers that congested WiFi produces).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class _Sample:
+    time_s: float
+    bandwidth_bps: float
+    passive: bool
+
+
+class BandwidthEstimator:
+    """Sliding-window upload-bandwidth estimator with adaptive probes."""
+
+    def __init__(
+        self,
+        window_size: int = 8,
+        initial_estimate_bps: float = 8e6,
+        probe_target_duration_s: float = 0.05,
+        min_probe_bytes: int = 4 * 1024,
+        max_probe_bytes: int = 4 * 1024 * 1024,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        if initial_estimate_bps <= 0:
+            raise ValueError("initial estimate must be positive")
+        self._window: Deque[_Sample] = deque(maxlen=window_size)
+        self._initial = initial_estimate_bps
+        self._probe_target_duration_s = probe_target_duration_s
+        self._min_probe_bytes = min_probe_bytes
+        self._max_probe_bytes = max_probe_bytes
+
+    # -- measurement ingestion ---------------------------------------------------
+
+    def add_probe(self, time_s: float, probe_bytes: int, duration_s: float) -> None:
+        """Record one active probe: ``probe_bytes`` uploaded in ``duration_s``."""
+        self._add(time_s, probe_bytes, duration_s, passive=False)
+
+    def add_passive(self, time_s: float, nbytes: int, duration_s: float) -> None:
+        """Record a passive measurement from an actual offloading upload."""
+        self._add(time_s, nbytes, duration_s, passive=True)
+
+    def _add(self, time_s: float, nbytes: int, duration_s: float, passive: bool) -> None:
+        if nbytes <= 0 or duration_s <= 0:
+            raise ValueError("probe bytes and duration must be positive")
+        self._window.append(_Sample(time_s, nbytes * 8 / duration_s, passive))
+
+    # -- queries -------------------------------------------------------------------
+
+    def estimate(self) -> float:
+        """Current upload-bandwidth estimate in bit/s (median of the window)."""
+        if not self._window:
+            return self._initial
+        return float(np.median([s.bandwidth_bps for s in self._window]))
+
+    def next_probe_bytes(self) -> int:
+        """Probe size targeting ``probe_target_duration_s`` at the current estimate.
+
+        This is the paper's "size of the probe package is adjusted according
+        to the historical data in the sliding window".
+        """
+        target = self.estimate() * self._probe_target_duration_s / 8
+        return int(np.clip(target, self._min_probe_bytes, self._max_probe_bytes))
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._window)
+
+    @property
+    def passive_fraction(self) -> float:
+        """Fraction of window samples that came from passive measurement."""
+        if not self._window:
+            return 0.0
+        return sum(1 for s in self._window if s.passive) / len(self._window)

@@ -1,0 +1,114 @@
+"""Time-varying bandwidth traces.
+
+A :class:`BandwidthTrace` maps simulation time to the *true* available
+upload/download bandwidth in bit/s.  The runtime never reads the trace
+directly — the device only sees what its estimator measures, as on a real
+link.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+MBPS = 1e6
+
+
+class BandwidthTrace:
+    """Interface: true link bandwidth as a function of time."""
+
+    def upload_at(self, t: float) -> float:
+        raise NotImplementedError
+
+    def download_at(self, t: float) -> float:
+        # The paper's testbed link is symmetric; subclasses may override.
+        return self.upload_at(t)
+
+
+class ConstantTrace(BandwidthTrace):
+    """Fixed bandwidth (the paper's §V-C setting: 8 Mbps upload)."""
+
+    def __init__(self, upload_bps: float, download_bps: float | None = None) -> None:
+        if upload_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self._up = upload_bps
+        self._down = download_bps if download_bps is not None else upload_bps
+
+    def upload_at(self, t: float) -> float:
+        return self._up
+
+    def download_at(self, t: float) -> float:
+        return self._down
+
+
+class StepTrace(BandwidthTrace):
+    """Piecewise-constant bandwidth: a list of ``(start_s, bps)`` steps."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]) -> None:
+        if not steps:
+            raise ValueError("StepTrace needs at least one step")
+        starts = [t for t, _ in steps]
+        if starts != sorted(starts) or starts[0] != 0.0:
+            raise ValueError("steps must be sorted and start at t=0")
+        if any(bw <= 0 for _, bw in steps):
+            raise ValueError("bandwidth must be positive")
+        self._starts = starts
+        self._values = [bw for _, bw in steps]
+
+    def upload_at(self, t: float) -> float:
+        idx = bisect.bisect_right(self._starts, t) - 1
+        return self._values[max(idx, 0)]
+
+    @property
+    def steps(self) -> List[Tuple[float, float]]:
+        return list(zip(self._starts, self._values))
+
+
+class RandomWalkTrace(BandwidthTrace):
+    """Log-space random walk between hard bounds, for robustness tests.
+
+    The walk is precomputed on a fixed grid so that lookups are pure
+    (deterministic given the seed).
+    """
+
+    def __init__(
+        self,
+        mean_bps: float,
+        sigma: float = 0.15,
+        step_s: float = 1.0,
+        duration_s: float = 600.0,
+        min_bps: float = 0.5 * MBPS,
+        max_bps: float = 100 * MBPS,
+        seed: int = 0,
+    ) -> None:
+        if not min_bps <= mean_bps <= max_bps:
+            raise ValueError("mean_bps must lie within [min_bps, max_bps]")
+        rng = np.random.default_rng(seed)
+        n = max(int(math.ceil(duration_s / step_s)) + 1, 2)
+        log_bw = np.empty(n)
+        log_bw[0] = math.log(mean_bps)
+        for i in range(1, n):
+            log_bw[i] = log_bw[i - 1] + rng.normal(0.0, sigma)
+            # Mean reversion keeps the walk near the configured mean.
+            log_bw[i] += 0.05 * (math.log(mean_bps) - log_bw[i])
+        self._values = np.clip(np.exp(log_bw), min_bps, max_bps)
+        self._step = step_s
+
+    def upload_at(self, t: float) -> float:
+        idx = min(int(max(t, 0.0) / self._step), len(self._values) - 1)
+        return float(self._values[idx])
+
+
+#: Upload bandwidths of the Fig. 6 sweep, in Mbps: starts at 8, decreases
+#: to 1, then increases to 64 (paper §V-B).
+FIG6_BANDWIDTHS_MBPS: Tuple[float, ...] = (8, 4, 2, 1, 2, 4, 8, 16, 32, 64)
+
+
+def fig6_trace(segment_s: float = 30.0) -> StepTrace:
+    """The bandwidth trajectory of Fig. 6: 8 -> 1 -> 64 Mbps in steps."""
+    return StepTrace(
+        [(i * segment_s, bw * MBPS) for i, bw in enumerate(FIG6_BANDWIDTHS_MBPS)]
+    )

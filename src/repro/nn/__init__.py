@@ -1,0 +1,13 @@
+"""NumPy inference executor.
+
+Replaces the MindSpore runtime for *functional* purposes: executing a graph
+or a partitioned segment on real arrays, so tests can assert that
+partitioned execution is numerically identical to monolithic execution.
+Timing never comes from this executor — latency is the job of
+:mod:`repro.hardware`.
+"""
+
+from repro.nn.executor import GraphExecutor, SegmentExecutor, init_parameters
+from repro.nn.kernels import KERNELS
+
+__all__ = ["GraphExecutor", "KERNELS", "SegmentExecutor", "init_parameters"]

@@ -1,0 +1,46 @@
+"""Offline profiling pipeline (paper §III-B).
+
+The three-step process of Fig. 4:
+
+1. *Profile* — :mod:`repro.profiling.sampler` draws layer configurations
+   uniformly from per-op attribute ranges and labels them with the hardware
+   models (our substitute for physical measurement).
+2. *Select features* — :mod:`repro.profiling.features` implements the
+   hand-designed feature vectors of Table II; :mod:`repro.profiling.gbt`
+   provides the XGBoost-substitute gradient-boosted trees whose gain-based
+   importance justifies that selection.
+3. *Fit* — :mod:`repro.profiling.regression` fits non-negative least squares
+   with no intercept, so a zero feature vector predicts zero time.
+
+:class:`~repro.profiling.predictor.LatencyPredictor` bundles the per-category
+models into the paper's ``M_user`` / ``M_edge``.
+"""
+
+from repro.profiling.features import (
+    FEATURE_NAMES,
+    NodeProfile,
+    feature_vector,
+    profile_graph,
+    profile_node,
+)
+from repro.profiling.metrics import mape, rmse
+from repro.profiling.predictor import LatencyPredictor
+from repro.profiling.offline import OfflineProfiler, ProfilerReport
+from repro.profiling.regression import NNLSModel
+from repro.profiling.sampler import ConfigSampler, ProfiledSample
+
+__all__ = [
+    "ConfigSampler",
+    "FEATURE_NAMES",
+    "LatencyPredictor",
+    "NNLSModel",
+    "NodeProfile",
+    "OfflineProfiler",
+    "ProfiledSample",
+    "ProfilerReport",
+    "feature_vector",
+    "mape",
+    "profile_graph",
+    "profile_node",
+    "rmse",
+]

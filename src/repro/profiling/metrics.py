@@ -1,0 +1,33 @@
+"""Accuracy metrics of the prediction models (Table III): RMSE and MAPE."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Rooted mean squared error, in the units of the inputs."""
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ValueError("rmse of empty arrays is undefined")
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def mape(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error, as a fraction (0.1 == 10%).
+
+    Entries with zero actual value are rejected — the paper's measurements
+    are strictly positive execution times.
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        raise ValueError("mape of empty arrays is undefined")
+    if np.any(actual == 0):
+        raise ValueError("mape undefined for zero actual values")
+    return float(np.mean(np.abs((actual - predicted) / actual)))

@@ -1,0 +1,167 @@
+"""The offline profiler: end-to-end model development (paper Fig. 4).
+
+Runs the three-step pipeline per computation-node category:
+
+1. sample layer configurations and "measure" them on the hardware models
+   (the stand-in for profiling the physical Pi and T4),
+2. assemble the Table II feature vectors,
+3. fit NNLS models and evaluate RMSE / MAPE on a held-out test split.
+
+The result is a pair of :class:`~repro.profiling.predictor.LatencyPredictor`
+bundles (M_user, M_edge) plus a :class:`ProfilerReport` that regenerates
+Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.ops import CATEGORIES, FUSED_CATEGORIES
+from repro.hardware.device_model import DeviceModel
+from repro.hardware.gpu_model import GpuModel
+from repro.profiling.features import feature_vector
+from repro.profiling.metrics import mape, rmse
+from repro.profiling.predictor import LatencyPredictor
+from repro.profiling.sampler import ConfigSampler, ProfiledSample
+
+#: The rows of Table III: (display name, category, op filter or None).
+TABLE3_ROWS: Tuple[Tuple[str, str, str | None], ...] = (
+    ("Conv", "conv", None),
+    ("DWConv", "dwconv", None),
+    ("Matmul", "matmul", None),
+    ("AvgPooling", "pooling", "avgpool2d"),
+    ("MaxPooling", "pooling", "maxpool2d"),
+    ("BiasAdd", "bias_add", None),
+    ("Elem-wise Add", "elementwise", "add"),
+    ("BatchNorm", "batchnorm", None),
+    ("ReLU", "activation", "relu"),
+)
+
+
+@dataclass(frozen=True)
+class RowMetrics:
+    """One Table III row: per-side RMSE (seconds) and MAPE (fraction)."""
+
+    name: str
+    edge_rmse: float
+    edge_mape: float
+    device_rmse: float
+    device_mape: float
+
+
+@dataclass(frozen=True)
+class ProfilerReport:
+    """Trained predictors plus held-out accuracy metrics (Table III)."""
+
+    user_predictor: LatencyPredictor
+    edge_predictor: LatencyPredictor
+    rows: Tuple[RowMetrics, ...]
+    train_counts: Dict[str, int]
+    test_counts: Dict[str, int]
+
+    def format_table3(self) -> str:
+        lines = [
+            f"{'Computation Node':<16s} {'Edge RMSE(us)':>14s} {'Edge MAPE':>10s} "
+            f"{'Dev RMSE(us)':>14s} {'Dev MAPE':>10s}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.name:<16s} {row.edge_rmse * 1e6:>14.2f} {row.edge_mape * 100:>9.2f}% "
+                f"{row.device_rmse * 1e6:>14.2f} {row.device_mape * 100:>9.2f}%"
+            )
+        return "\n".join(lines)
+
+
+class OfflineProfiler:
+    """Profiles sampled configurations and trains the prediction models."""
+
+    def __init__(
+        self,
+        device_model: DeviceModel | None = None,
+        gpu_model: GpuModel | None = None,
+        samples_per_category: int = 300,
+        repeats: int = 3,
+        test_fraction: float = 0.25,
+        seed: int = 0,
+        include_fused: bool = False,
+    ) -> None:
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        self.device_model = device_model or DeviceModel()
+        self.gpu_model = gpu_model or GpuModel()
+        self.samples_per_category = samples_per_category
+        self.repeats = repeats
+        self.test_fraction = test_fraction
+        self.seed = seed
+        self.include_fused = include_fused
+
+    @property
+    def categories(self) -> Tuple[str, ...]:
+        if self.include_fused:
+            return tuple(CATEGORIES) + tuple(FUSED_CATEGORIES)
+        return tuple(CATEGORIES)
+
+    def collect(self) -> Dict[str, List[ProfiledSample]]:
+        """Step 1: sample configurations and measure them (with noise)."""
+        sampler = ConfigSampler(seed=self.seed)
+        rng = np.random.default_rng(self.seed + 1)
+        out: Dict[str, List[ProfiledSample]] = {}
+        for category in self.categories:
+            samples: List[ProfiledSample] = []
+            for profile in sampler.sample_profiles(category, self.samples_per_category):
+                device_time = float(
+                    np.mean([self.device_model.sample_time(profile, rng) for _ in range(self.repeats)])
+                )
+                edge_time = float(
+                    np.mean([self.gpu_model.sample_time(profile, rng) for _ in range(self.repeats)])
+                )
+                samples.append(ProfiledSample(profile, device_time, edge_time))
+            out[category] = samples
+        return out
+
+    def run(self) -> ProfilerReport:
+        """Full pipeline: collect, split, fit both sides, evaluate Table III."""
+        data = self.collect()
+        rng = np.random.default_rng(self.seed + 2)
+        train: Dict[str, List[ProfiledSample]] = {}
+        test: Dict[str, List[ProfiledSample]] = {}
+        for category, samples in data.items():
+            idx = rng.permutation(len(samples))
+            n_test = max(int(len(samples) * self.test_fraction), 1)
+            test_ids = set(idx[:n_test].tolist())
+            train[category] = [s for i, s in enumerate(samples) if i not in test_ids]
+            test[category] = [s for i, s in enumerate(samples) if i in test_ids]
+
+        user = LatencyPredictor.fit("device", train)
+        edge = LatencyPredictor.fit("edge", train)
+
+        rows: List[RowMetrics] = []
+        for name, category, op_filter in TABLE3_ROWS:
+            subset = [
+                s for s in test[category] if op_filter is None or s.profile.op == op_filter
+            ]
+            if not subset:
+                raise RuntimeError(f"no test samples for Table III row {name!r}")
+            actual_dev = np.array([s.device_time for s in subset])
+            actual_edge = np.array([s.edge_time for s in subset])
+            pred_dev = np.array([user.predict(s.profile) for s in subset])
+            pred_edge = np.array([edge.predict(s.profile) for s in subset])
+            rows.append(
+                RowMetrics(
+                    name=name,
+                    edge_rmse=rmse(actual_edge, pred_edge),
+                    edge_mape=mape(actual_edge, pred_edge),
+                    device_rmse=rmse(actual_dev, pred_dev),
+                    device_mape=mape(actual_dev, pred_dev),
+                )
+            )
+        return ProfilerReport(
+            user_predictor=user,
+            edge_predictor=edge,
+            rows=tuple(rows),
+            train_counts={c: len(v) for c, v in train.items()},
+            test_counts={c: len(v) for c, v in test.items()},
+        )

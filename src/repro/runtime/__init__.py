@@ -1,0 +1,41 @@
+"""Device-server runtime emulation.
+
+Reproduces the online system of Fig. 3 as a discrete-event simulation:
+
+- :class:`~repro.runtime.events.EventLoop` — the simulated clock.
+- :class:`~repro.runtime.client.UserDevice` — runs the partition decision
+  algorithm, the bandwidth-probing profiler thread, executes head segments
+  and offloads tails.
+- :class:`~repro.runtime.server.EdgeServer` — executes tail segments on the
+  contended GPU, maintains the influential factor ``k`` and the
+  GPU-utilisation watchdog.
+- :class:`~repro.runtime.system.OffloadingSystem` — wires both ends to a
+  channel and a load schedule and produces per-request timelines.
+
+The emulation replaces the paper's physical Pi-to-server WiFi deployment;
+all latencies come from :mod:`repro.hardware` and :mod:`repro.network`,
+while the *protocol* (periods, staleness, cache behaviour) is faithfully
+event-driven.
+"""
+
+from repro.runtime.client import UserDevice
+from repro.runtime.multi import FleetResult, MultiClientSystem, SharedLoadTracker
+from repro.runtime.events import EventLoop
+from repro.runtime.messages import InferenceRecord, LoadReply, OffloadReply
+from repro.runtime.server import EdgeServer
+from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
+
+__all__ = [
+    "EdgeServer",
+    "FleetResult",
+    "MultiClientSystem",
+    "SharedLoadTracker",
+    "EventLoop",
+    "InferenceRecord",
+    "LoadReply",
+    "OffloadReply",
+    "OffloadingSystem",
+    "SystemConfig",
+    "Timeline",
+    "UserDevice",
+]

@@ -1,0 +1,152 @@
+"""The user-end device runtime.
+
+Runs the partition decision algorithm per request (on the device, to avoid
+extra round-trips, §III-A), executes head segments on the local CPU,
+uploads intermediate tensors, and hosts the runtime-profiler activities:
+adaptive bandwidth probes, passive bandwidth measurements from actual
+uploads, and the periodic load query that fetches the server's ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.cache import PartitionCache
+from repro.core.engine import LoADPartEngine
+from repro.core.partition_algorithm import PartitionDecision
+from repro.graph.partitioner import GraphPartitioner
+from repro.hardware.device_model import DeviceModel
+from repro.network.channel import Channel
+from repro.network.estimator import BandwidthEstimator
+from repro.runtime.messages import InferenceRecord
+from repro.runtime.server import PARTITION_OVERHEAD_S, EdgeServer
+
+
+class DecisionPolicy(Protocol):
+    """Pluggable decision strategies (LoADPart, Neurosurgeon, local, full)."""
+
+    def decide(self, bandwidth_up: float, k: float = 1.0) -> PartitionDecision: ...
+
+
+class UserDevice:
+    """Simulated user-end device (Raspberry Pi 4 class)."""
+
+    def __init__(
+        self,
+        engine: LoADPartEngine,
+        server: EdgeServer,
+        channel: Channel,
+        policy: DecisionPolicy | None = None,
+        device_model: DeviceModel | None = None,
+        estimator: BandwidthEstimator | None = None,
+        seed: int = 1,
+    ) -> None:
+        self.engine = engine
+        self.server = server
+        self.channel = channel
+        self.policy = policy if policy is not None else engine
+        self.device_model = device_model or DeviceModel()
+        self.estimator = estimator or BandwidthEstimator()
+        self.cache = PartitionCache(GraphPartitioner(engine.graph))
+        self._rng = np.random.default_rng(seed)
+        self._latest_k = 1.0
+        self._request_seq = 0
+
+    # -- runtime profiler activities (the paper's profiler thread) ------------
+
+    @property
+    def latest_k(self) -> float:
+        return self._latest_k
+
+    def send_probe(self, now_s: float) -> float:
+        """Upload an adaptive-size probe packet; returns its duration."""
+        probe_bytes = self.estimator.next_probe_bytes()
+        duration = self.channel.upload_time(probe_bytes, now_s, self._rng)
+        self.estimator.add_probe(now_s, probe_bytes, duration)
+        return duration
+
+    def query_load(self, now_s: float) -> float:
+        """Fetch the most recent influential factor from the server."""
+        reply = self.server.handle_load_query(now_s)
+        self._latest_k = max(reply.k, 1.0)
+        return self._latest_k
+
+    def profiler_tick(self, now_s: float) -> None:
+        """One period of the runtime profiler: probe + load query (§IV)."""
+        self.send_probe(now_s)
+        self.query_load(now_s)
+
+    # -- inference path ------------------------------------------------------
+
+    def request_inference(self, now_s: float) -> InferenceRecord:
+        """Run one end-to-end inference starting at ``now_s``."""
+        self._request_seq += 1
+        request_id = self._request_seq
+        bandwidth = self.estimator.estimate()
+        k = self._latest_k
+        decision = self.policy.decide(bandwidth, k=k)
+        point = decision.point
+        n = self.engine.num_nodes
+
+        device_cache_hit = point in self.cache
+        partitioned = self.cache.get(point)
+        overhead = 0.0 if device_cache_hit else PARTITION_OVERHEAD_S
+
+        device_s = float(
+            self.device_model.sample_graph_time(self.engine.head_profiles(point), self._rng)
+        )
+
+        if point == n:
+            # Local inference: no network, no server involvement.
+            return InferenceRecord(
+                request_id=request_id,
+                start_s=now_s,
+                partition_point=point,
+                estimated_bandwidth_bps=bandwidth,
+                k_used=k,
+                device_s=device_s,
+                upload_s=0.0,
+                server_s=0.0,
+                download_s=0.0,
+                overhead_s=overhead,
+                total_s=device_s + overhead,
+                load_level=self.server.load_schedule.level_at(now_s).name,
+                device_cache_hit=device_cache_hit,
+                server_cache_hit=True,
+            )
+
+        upload_bytes = partitioned.upload_bytes
+        upload_s = self.channel.upload_time(upload_bytes, now_s, self._rng)
+        # Passive bandwidth measurement from the real transfer (§IV).
+        self.estimator.add_passive(now_s, upload_bytes, upload_s)
+
+        arrive_s = now_s + device_s + upload_s
+        reply = self.server.handle_offload(arrive_s, request_id, point)
+        download_s = self.channel.download_time(reply.result_bytes, arrive_s, self._rng)
+
+        total = (
+            device_s
+            + upload_s
+            + reply.server_exec_s
+            + download_s
+            + overhead
+            + reply.partition_overhead_s
+        )
+        return InferenceRecord(
+            request_id=request_id,
+            start_s=now_s,
+            partition_point=point,
+            estimated_bandwidth_bps=bandwidth,
+            k_used=k,
+            device_s=device_s,
+            upload_s=upload_s,
+            server_s=reply.server_exec_s,
+            download_s=download_s,
+            overhead_s=overhead + reply.partition_overhead_s,
+            total_s=total,
+            load_level=self.server.load_schedule.level_at(arrive_s).name,
+            device_cache_hit=device_cache_hit,
+            server_cache_hit=reply.cache_hit,
+        )

@@ -1,0 +1,49 @@
+"""Protocol records exchanged between the device and the edge server."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OffloadReply:
+    """Server's answer to one offloading request."""
+
+    request_id: int
+    partition_point: int
+    server_exec_s: float       # GPU time incl. contention
+    result_bytes: int          # size of the result tensor to download
+    cache_hit: bool            # server-side partition cache
+    partition_overhead_s: float
+
+
+@dataclass(frozen=True)
+class LoadReply:
+    """Server's answer to the device profiler's load query (§IV)."""
+
+    k: float
+    gpu_utilization: float
+
+
+@dataclass(frozen=True)
+class InferenceRecord:
+    """Everything measured about one end-to-end inference."""
+
+    request_id: int
+    start_s: float
+    partition_point: int
+    estimated_bandwidth_bps: float
+    k_used: float
+    device_s: float
+    upload_s: float
+    server_s: float
+    download_s: float
+    overhead_s: float
+    total_s: float
+    load_level: str
+    device_cache_hit: bool
+    server_cache_hit: bool
+
+    @property
+    def is_local(self) -> bool:
+        return self.upload_s == 0.0 and self.server_s == 0.0

@@ -1,0 +1,209 @@
+"""Multi-client extension: several devices sharing one edge server.
+
+The paper's motivation is that "the increasing offloaded tasks on an edge
+server are gradually facing the contention of both the network and
+computation resources" — its experiments emulate that contention with
+synthetic background load.  This module closes the loop instead: the
+server's contention level is *endogenous*, derived from the offload
+traffic the clients themselves generate, so a fleet of load-aware clients
+exhibits the interesting emergent behaviour — when the server saturates,
+``k`` rises, some clients retreat to local inference, and the server
+recovers.
+
+- :class:`SharedLoadTracker` — sliding-window estimate of GPU busy time.
+- :class:`EndogenousLoad` — adapts the tracker to the ``level_at`` protocol
+  of :class:`~repro.hardware.background.LoadSchedule`, synthesising a
+  :class:`~repro.hardware.background.LoadLevel` from current utilisation.
+- :class:`SharedEdgeServer` — an :class:`~repro.runtime.server.EdgeServer`
+  that feeds its own execution times back into the tracker.
+- :class:`MultiClientSystem` — N devices, one server, one event loop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.engine import LoADPartEngine
+from repro.hardware.background import LoadLevel
+from repro.network.channel import Channel, NetworkParams
+from repro.network.traces import BandwidthTrace, ConstantTrace
+from repro.runtime.client import UserDevice
+from repro.runtime.events import EventLoop
+from repro.runtime.messages import InferenceRecord
+from repro.runtime.server import EdgeServer
+from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
+
+
+class SharedLoadTracker:
+    """Sliding-window GPU busy-time tracker shared by all clients."""
+
+    def __init__(self, window_s: float = 3.0) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = window_s
+        self._busy: Deque[Tuple[float, float]] = deque()
+
+    def record(self, time_s: float, busy_s: float) -> None:
+        if busy_s < 0:
+            raise ValueError("busy time must be non-negative")
+        self._busy.append((time_s, busy_s))
+        self._evict(time_s)
+
+    def _evict(self, now_s: float) -> None:
+        while self._busy and self._busy[0][0] < now_s - self.window_s:
+            self._busy.popleft()
+
+    def utilization(self, now_s: float) -> float:
+        """Fraction of the window the GPU spent on offloaded work (capped)."""
+        self._evict(now_s)
+        busy = sum(b for _, b in self._busy)
+        return min(busy / self.window_s, 1.0)
+
+
+class EndogenousLoad:
+    """Synthesises a LoadLevel from the tracker's current utilisation.
+
+    Quacks like :class:`~repro.hardware.background.LoadSchedule` so the
+    unmodified :class:`EdgeServer` machinery (watchdog, utilisation
+    queries) keeps working.  Contention parameters interpolate between the
+    calibrated idle and 100%(l) regimes as utilisation grows.
+    """
+
+    def __init__(self, tracker: SharedLoadTracker) -> None:
+        self.tracker = tracker
+
+    def level_at(self, t: float) -> LoadLevel:
+        util = self.tracker.utilization(t)
+        # Queueing-flavoured growth: waits diverge as the GPU saturates
+        # (residual service time / (1 - utilisation), capped).
+        wait = (0.15e-3 + 0.6e-3 * util) / (1.0 - min(util, 0.9))
+        return LoadLevel(
+            name=f"shared({util * 100:.0f}%)",
+            utilization=util,
+            contend_prob=min(0.8 * util, 0.8),
+            wait_mean_s=wait,
+            wait_cv=1.2,
+            initial_wait_s=2.0 * util * wait,
+        )
+
+
+class SharedEdgeServer(EdgeServer):
+    """EdgeServer whose contention comes from its own offload traffic."""
+
+    def __init__(self, engine: LoADPartEngine, tracker: SharedLoadTracker,
+                 **kwargs) -> None:
+        super().__init__(engine, load_schedule=EndogenousLoad(tracker), **kwargs)
+        self.tracker = tracker
+
+    def handle_offload(self, now_s: float, request_id: int, point: int):
+        reply = super().handle_offload(now_s, request_id, point)
+        # The executed tail occupies the shared GPU; later requests see it.
+        self.tracker.record(now_s, reply.server_exec_s)
+        return reply
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Per-client timelines plus fleet-level aggregates."""
+
+    timelines: Tuple[Timeline, ...]
+    policy: str
+
+    @property
+    def mean_latency(self) -> float:
+        lat = np.concatenate([t.latencies for t in self.timelines])
+        return float(lat.mean())
+
+    @property
+    def p95_latency(self) -> float:
+        lat = np.concatenate([t.latencies for t in self.timelines])
+        return float(np.percentile(lat, 95))
+
+    @property
+    def local_fraction(self) -> float:
+        records = [r for t in self.timelines for r in t]
+        return sum(1 for r in records if r.is_local) / max(len(records), 1)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(t) for t in self.timelines)
+
+
+class MultiClientSystem:
+    """N user-end devices sharing one edge server over one access point."""
+
+    def __init__(
+        self,
+        engine: LoADPartEngine,
+        num_clients: int,
+        bandwidth_trace: BandwidthTrace | None = None,
+        config: SystemConfig | None = None,
+        tracker_window_s: float = 3.0,
+    ) -> None:
+        if num_clients < 1:
+            raise ValueError("need at least one client")
+        self.config = config or SystemConfig()
+        self.engine = engine
+        self.tracker = SharedLoadTracker(window_s=tracker_window_s)
+        self.server = SharedEdgeServer(
+            engine,
+            self.tracker,
+            monitor_window_s=self.config.monitor_window_s,
+            watchdog_threshold=self.config.watchdog_threshold,
+            watchdog_period_s=self.config.watchdog_period_s,
+            seed=self.config.seed + 100,
+        )
+        trace = bandwidth_trace or ConstantTrace(8e6)
+        self.channel = Channel(trace, NetworkParams())
+        self.policy = self.config.policy
+        self.clients: List[UserDevice] = []
+        for i in range(num_clients):
+            client_policy = OffloadingSystem._make_policy(self.config.policy, engine)
+            self.clients.append(
+                UserDevice(
+                    engine,
+                    self.server,
+                    self.channel,
+                    policy=client_policy,
+                    seed=self.config.seed + 200 + i,
+                )
+            )
+        self.loop = EventLoop()
+
+    def run(self, duration_s: float) -> FleetResult:
+        """Simulate all clients issuing requests back-to-back."""
+        loop = self.loop
+        records: List[List[InferenceRecord]] = [[] for _ in self.clients]
+
+        for i, client in enumerate(self.clients):
+            client.profiler_tick(0.0)
+            # Stagger profiler periods so clients don't probe in lockstep.
+            offset = (i + 1) * self.config.profiler_period_s / (len(self.clients) + 1)
+            loop.schedule_every(
+                self.config.profiler_period_s,
+                lambda c=client: c.profiler_tick(loop.now),
+                start_s=offset,
+            )
+        loop.schedule_every(self.config.watchdog_period_s,
+                            lambda: self.server.watchdog_tick(loop.now))
+
+        # Per-client next-request times; process in global time order so the
+        # shared tracker sees interleaved arrivals.
+        next_at = [i * 0.003 for i in range(len(self.clients))]
+        while True:
+            idx = int(np.argmin(next_at))
+            t = next_at[idx]
+            if t >= duration_s:
+                break
+            loop.run_until(t)
+            record = self.clients[idx].request_inference(t)
+            records[idx].append(record)
+            next_at[idx] = t + record.total_s + self.config.think_time_s
+        return FleetResult(
+            timelines=tuple(Timeline(r) for r in records),
+            policy=self.policy,
+        )

@@ -1,0 +1,163 @@
+"""``OffloadingSystem``: wires device, server, channel and load schedule.
+
+Drives the event loop: periodic profiler ticks on the device (default 5 s,
+§V-A), the periodic GPU watchdog on the server (default 10 s), and a
+request generator that issues inferences back-to-back (plus an optional
+think time).  Produces a :class:`Timeline` of per-request records — the raw
+material of the Fig. 6/7/8/9 experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List
+
+import numpy as np
+
+from repro.core.baselines import FullOffloadStrategy, LocalStrategy, NeurosurgeonStrategy
+from repro.core.engine import LoADPartEngine
+from repro.hardware.background import IDLE, LoadSchedule
+from repro.network.channel import Channel, NetworkParams
+from repro.network.traces import BandwidthTrace, ConstantTrace
+from repro.profiling.predictor import LatencyPredictor
+from repro.runtime.client import UserDevice
+from repro.runtime.events import EventLoop
+from repro.runtime.messages import InferenceRecord
+from repro.runtime.server import EdgeServer
+
+POLICIES = ("loadpart", "neurosurgeon", "local", "full")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Knobs of one emulation run (defaults follow §V-A of the paper)."""
+
+    policy: str = "loadpart"
+    profiler_period_s: float = 5.0
+    watchdog_period_s: float = 10.0
+    watchdog_threshold: float = 0.90
+    think_time_s: float = 0.015      # gap between consecutive requests
+    monitor_window_s: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+
+
+class Timeline:
+    """The per-request records of one run, with summary helpers."""
+
+    def __init__(self, records: List[InferenceRecord]) -> None:
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return np.array([r.total_s for r in self.records])
+
+    @property
+    def points(self) -> np.ndarray:
+        return np.array([r.partition_point for r in self.records])
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([r.start_s for r in self.records])
+
+    def mean_latency(self) -> float:
+        return float(self.latencies.mean())
+
+    def percentile_latency(self, q: float) -> float:
+        return float(np.percentile(self.latencies, q))
+
+    def between(self, start_s: float, end_s: float) -> "Timeline":
+        return Timeline([r for r in self.records if start_s <= r.start_s < end_s])
+
+
+class OffloadingSystem:
+    """One device + one server + one link, runnable as a simulation."""
+
+    def __init__(
+        self,
+        engine: LoADPartEngine,
+        bandwidth_trace: BandwidthTrace | None = None,
+        load_schedule: LoadSchedule | None = None,
+        config: SystemConfig | None = None,
+        network_params: NetworkParams | None = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.engine = engine
+        trace = bandwidth_trace or ConstantTrace(8e6)
+        self.channel = Channel(trace, network_params)
+        self.server = EdgeServer(
+            engine,
+            load_schedule=load_schedule or LoadSchedule([(0.0, IDLE)]),
+            monitor_window_s=self.config.monitor_window_s,
+            watchdog_threshold=self.config.watchdog_threshold,
+            watchdog_period_s=self.config.watchdog_period_s,
+            seed=self.config.seed + 100,
+        )
+        policy = self._make_policy(self.config.policy, engine)
+        self.device = UserDevice(
+            engine,
+            self.server,
+            self.channel,
+            policy=policy,
+            seed=self.config.seed + 200,
+        )
+        self.loop = EventLoop()
+
+    @staticmethod
+    def _make_policy(name: str, engine: LoADPartEngine):
+        if name == "loadpart":
+            return engine
+        if name == "neurosurgeon":
+            return NeurosurgeonStrategy(engine)
+        if name == "local":
+            return LocalStrategy(engine)
+        return FullOffloadStrategy(engine)
+
+    @classmethod
+    def build(
+        cls,
+        graph,
+        user_predictor: LatencyPredictor,
+        edge_predictor: LatencyPredictor,
+        **kwargs,
+    ) -> "OffloadingSystem":
+        """Convenience constructor from a graph and trained predictors."""
+        return cls(LoADPartEngine(graph, user_predictor, edge_predictor), **kwargs)
+
+    def run(
+        self,
+        duration_s: float,
+        max_requests: int | None = None,
+        on_record: Callable[[InferenceRecord], None] | None = None,
+    ) -> Timeline:
+        """Simulate ``duration_s`` seconds of operation."""
+        loop = self.loop
+        records: List[InferenceRecord] = []
+
+        # Warm up the profiler state once at t=0 (models load + first probe,
+        # Fig. 3's "load models" step), then run periodically.
+        self.device.profiler_tick(loop.now)
+        loop.schedule_every(self.config.profiler_period_s, lambda: self.device.profiler_tick(loop.now))
+        loop.schedule_every(self.config.watchdog_period_s, lambda: self.server.watchdog_tick(loop.now))
+
+        next_request_s = 0.0
+        while next_request_s < duration_s:
+            if max_requests is not None and len(records) >= max_requests:
+                break
+            loop.run_until(next_request_s)
+            record = self.device.request_inference(loop.now)
+            records.append(record)
+            if on_record is not None:
+                on_record(record)
+            next_request_s = loop.now + record.total_s + self.config.think_time_s
+        loop.run_until(min(next_request_s, duration_s))
+        return Timeline(records)

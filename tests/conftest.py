@@ -1,0 +1,79 @@
+"""Shared fixtures: small graphs and session-scoped trained predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import LoADPartEngine
+from repro.graph.builder import GraphBuilder
+from repro.models import build_model
+from repro.profiling.offline import OfflineProfiler
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def chain_graph():
+    """A tiny chain: conv -> bias -> relu -> pool -> flatten -> fc."""
+    b = GraphBuilder("chain", (1, 3, 16, 16))
+    x = b.conv(b.input, 8, kernel=3, padding=1, name="conv")
+    x = b.bias_add(x, name="bias")
+    x = b.relu(x, name="relu")
+    x = b.maxpool(x, kernel=2, name="pool")
+    x = b.flatten(x, name="flat")
+    x = b.matmul(x, 10, name="fc")
+    b.output(x)
+    return b.build()
+
+
+@pytest.fixture
+def diamond_graph():
+    """A DAG with two branches joined by an add (residual-style)."""
+    b = GraphBuilder("diamond", (1, 4, 8, 8))
+    stem = b.conv(b.input, 8, kernel=3, padding=1, name="stem")
+    left = b.conv(stem, 8, kernel=3, padding=1, name="left")
+    right = b.conv(stem, 8, kernel=1, name="right")
+    joined = b.add(left, right, name="join")
+    out = b.relu(joined, name="out")
+    b.output(out)
+    return b.build()
+
+
+@pytest.fixture
+def fire_graph():
+    """A SqueezeNet-style fire module with a concat join."""
+    b = GraphBuilder("fire", (1, 16, 8, 8))
+    s = b.conv(b.input, 4, kernel=1, name="squeeze")
+    e1 = b.conv(s, 8, kernel=1, name="e1")
+    e3 = b.conv(s, 8, kernel=3, padding=1, name="e3")
+    cat = b.concat([e1, e3], name="cat")
+    b.output(cat)
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def trained_report():
+    """A small but real offline-profiler run, shared across the session."""
+    return OfflineProfiler(samples_per_category=150, seed=3).run()
+
+
+@pytest.fixture(scope="session")
+def alexnet_engine(trained_report):
+    return LoADPartEngine(
+        build_model("alexnet"),
+        trained_report.user_predictor,
+        trained_report.edge_predictor,
+    )
+
+
+@pytest.fixture(scope="session")
+def squeezenet_engine(trained_report):
+    return LoADPartEngine(
+        build_model("squeezenet"),
+        trained_report.user_predictor,
+        trained_report.edge_predictor,
+    )

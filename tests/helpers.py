@@ -1,0 +1,16 @@
+"""Shared reference implementations used by multiple test modules."""
+
+
+def brute_force(device, edge, sizes, bw_up, k, bw_down=None, out_bytes=0):
+    """Direct O(n^2) evaluation of Problem (1), the paper's objective."""
+    n = len(device)
+    best_p, best_val = None, None
+    download = out_bytes * 8 / bw_down if bw_down else 0.0
+    for p in range(n + 1):
+        if p == n:
+            val = sum(device)
+        else:
+            val = sum(device[:p]) + sizes[p] * 8 / bw_up + k * sum(edge[p:]) + download
+        if best_val is None or val <= best_val:  # paper tie-break: latest wins
+            best_p, best_val = p, val
+    return best_p, best_val

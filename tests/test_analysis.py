@@ -1,0 +1,80 @@
+"""Timeline analysis helpers: CSV round trip, comparison statistics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.analysis import (
+    compare_timelines,
+    component_breakdown,
+    dwell_statistics,
+    timeline_from_csv,
+    timeline_to_csv,
+)
+from repro.hardware.background import fig9_schedule
+from repro.network.traces import ConstantTrace
+from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
+
+
+@pytest.fixture(scope="module")
+def timelines(squeezenet_engine):
+    out = {}
+    for policy in ("loadpart", "neurosurgeon"):
+        system = OffloadingSystem(
+            squeezenet_engine,
+            bandwidth_trace=ConstantTrace(8e6),
+            load_schedule=fig9_schedule(),
+            config=SystemConfig(policy=policy, seed=8),
+        )
+        out[policy] = system.run(200.0)
+    return out
+
+
+class TestCsv:
+    def test_round_trip_preserves_metrics(self, timelines):
+        original = timelines["loadpart"]
+        restored = timeline_from_csv(timeline_to_csv(original))
+        assert len(restored) == len(original)
+        assert restored.mean_latency() == pytest.approx(original.mean_latency())
+        np.testing.assert_array_equal(restored.points, original.points)
+
+    def test_csv_has_header_and_rows(self, timelines):
+        text = timeline_to_csv(timelines["loadpart"])
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("request_id,start_s")
+        assert len(lines) == len(timelines["loadpart"]) + 1
+
+
+class TestComparison:
+    def test_loadpart_vs_baseline(self, timelines):
+        stats = compare_timelines(timelines["loadpart"], timelines["neurosurgeon"], 200.0)
+        assert stats.mean_reduction > 0.0
+        assert stats.max_window_reduction >= stats.mean_reduction - 0.05
+        assert len(stats.windows) > 5
+
+    def test_self_comparison_is_zero(self, timelines):
+        stats = compare_timelines(timelines["loadpart"], timelines["loadpart"], 200.0)
+        assert stats.mean_reduction == pytest.approx(0.0)
+        assert stats.max_window_reduction == pytest.approx(0.0)
+
+    def test_validation(self, timelines):
+        with pytest.raises(ValueError):
+            compare_timelines(timelines["loadpart"], timelines["neurosurgeon"],
+                              200.0, window_s=0.0)
+        with pytest.raises(ValueError):
+            compare_timelines(Timeline([]), timelines["neurosurgeon"], 200.0)
+
+
+class TestBreakdowns:
+    def test_dwell_fractions_sum_to_one(self, timelines):
+        dwell = dwell_statistics(timelines["loadpart"])
+        assert sum(dwell.values()) == pytest.approx(1.0)
+        assert all(0 < v <= 1 for v in dwell.values())
+
+    def test_loadpart_dwells_on_multiple_points(self, timelines):
+        assert len(dwell_statistics(timelines["loadpart"])) >= 2
+        assert len(dwell_statistics(timelines["neurosurgeon"])) == 1
+
+    def test_component_breakdown_consistent(self, timelines):
+        parts = component_breakdown(timelines["loadpart"])
+        total = timelines["loadpart"].mean_latency()
+        assert sum(parts.values()) == pytest.approx(total, rel=1e-9)

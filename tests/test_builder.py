@@ -1,0 +1,75 @@
+"""GraphBuilder: auto-naming, composites, finalisation."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestAutoNaming:
+    def test_sequential_names(self):
+        b = GraphBuilder("g", (1, 3, 8, 8))
+        a = b.relu(b.input)
+        c = b.relu(a)
+        assert (a, c) == ("relu_1", "relu_2")
+
+    def test_explicit_name_wins(self):
+        b = GraphBuilder("g", (1, 3, 8, 8))
+        assert b.relu(b.input, name="myrelu") == "myrelu"
+
+
+class TestComposites:
+    def test_conv_block_bias_variant(self):
+        b = GraphBuilder("g", (1, 3, 8, 8))
+        x = b.conv_block(b.input, 8, kernel=3, padding=1, prefix="blk")
+        b.output(x)
+        g = b.build()
+        assert g.topological_order() == ["blk.conv", "blk.post", "blk.relu"]
+        assert g.node("blk.post").op == "bias_add"
+
+    def test_conv_block_bn_variant(self):
+        b = GraphBuilder("g", (1, 3, 8, 8))
+        x = b.conv_block(b.input, 8, kernel=3, padding=1, prefix="blk", bn=True)
+        b.output(x)
+        g = b.build()
+        assert g.node("blk.post").op == "batchnorm"
+
+    def test_conv_block_no_activation(self):
+        b = GraphBuilder("g", (1, 3, 8, 8))
+        x = b.conv_block(b.input, 8, kernel=3, padding=1, act="")
+        b.output(x)
+        assert b.build().node(x).op == "bias_add"
+
+    def test_dense_block(self):
+        b = GraphBuilder("g", (1, 128))
+        x = b.dense_block(b.input, 64, prefix="fc")
+        b.output(x)
+        g = b.build()
+        assert g.topological_order() == ["fc.fc", "fc.bias", "fc.relu"]
+
+    def test_dense_block_linear(self):
+        b = GraphBuilder("g", (1, 128))
+        x = b.dense_block(b.input, 64, act=None)
+        b.output(x)
+        assert b.build().node(x).op == "bias_add"
+
+
+class TestFinalisation:
+    def test_build_without_output_raises(self):
+        b = GraphBuilder("g", (1, 4))
+        b.relu(b.input)
+        with pytest.raises(ValueError, match="output"):
+            b.build()
+
+    def test_build_validates(self):
+        b = GraphBuilder("g", (1, 4))
+        x = b.relu(b.input)
+        b.relu(b.input)  # dead node
+        b.output(x)
+        with pytest.raises(Exception):
+            b.build()
+
+    def test_maxpool_stride_defaults(self):
+        b = GraphBuilder("g", (1, 4, 8, 8))
+        x = b.maxpool(b.input, kernel=2)
+        b.output(x)
+        assert b.build().node(x).output.shape == (1, 4, 4, 4)

@@ -1,0 +1,62 @@
+"""Partition cache (§III-A)."""
+
+import pytest
+
+from repro.core.cache import PartitionCache
+from repro.graph.partitioner import GraphPartitioner
+
+
+@pytest.fixture
+def cache(chain_graph):
+    return PartitionCache(GraphPartitioner(chain_graph), capacity=3)
+
+
+class TestCache:
+    def test_miss_then_hit(self, cache):
+        cache.get(2)
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.get(2)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_returns_correct_partition(self, cache):
+        part = cache.get(3)
+        assert part.partition_point == 3
+
+    def test_contains(self, cache):
+        assert 2 not in cache
+        cache.get(2)
+        assert 2 in cache
+
+    def test_lru_eviction(self, cache):
+        for p in (0, 1, 2):
+            cache.get(p)
+        cache.get(0)      # refresh 0
+        cache.get(3)      # evicts 1 (least recently used)
+        assert 0 in cache and 3 in cache and 1 not in cache
+
+    def test_hit_rate(self, cache):
+        assert cache.hit_rate == 0.0
+        cache.get(1)
+        cache.get(1)
+        cache.get(1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_amortisation_paper_claim(self, cache):
+        """Over ~100 requests at one point, nearly all are hits."""
+        for _ in range(100):
+            cache.get(4)
+        assert cache.hit_rate >= 0.99
+
+    def test_clear(self, cache):
+        cache.get(1)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_capacity_validation(self, chain_graph):
+        with pytest.raises(ValueError):
+            PartitionCache(GraphPartitioner(chain_graph), capacity=0)
+
+    def test_len_tracks_entries(self, cache):
+        cache.get(0)
+        cache.get(1)
+        assert len(cache) == 2

@@ -1,0 +1,55 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_experiment_registry_covers_all_figures_and_tables(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig6", "fig7", "fig8", "fig9",
+            "table1", "table2", "table3", "table4",
+        }
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet" in out and "GFLOPs" in out
+
+    def test_summary(self, capsys):
+        assert main(["summary", "alexnet"]) == 0
+        assert "maxpool2" in capsys.readouterr().out
+
+    def test_decide(self, capsys):
+        assert main(["decide", "alexnet", "--bandwidth-mbps", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "local inference" in out
+
+    def test_decide_landscape(self, capsys):
+        assert main(["decide", "alexnet", "--landscape"]) == 0
+        out = capsys.readouterr().out
+        assert "<-- chosen" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "squeezenet", "--duration", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "inferences" in out and "partition points" in out
+
+    def test_experiment_table4(self, capsys):
+        assert main(["experiment", "table4"]) == 0
+        assert "Raspberry Pi" in capsys.readouterr().out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "cross-check" in capsys.readouterr().out

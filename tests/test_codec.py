@@ -1,0 +1,107 @@
+"""Transmission codecs: wire sizes, numerics, decision impact."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import LoADPartEngine
+from repro.models import build_model
+from repro.network.codec import TensorCodec
+
+
+class TestWireSizes:
+    def test_ratios(self):
+        assert TensorCodec("fp32").compression_ratio == 1.0
+        assert TensorCodec("fp16").compression_ratio == 2.0
+        assert TensorCodec("int8").compression_ratio == 4.0
+
+    def test_wire_bytes(self):
+        assert TensorCodec("int8").wire_bytes(4000) == 1000
+        assert TensorCodec("fp16").wire_bytes(4000) == 2000
+        assert TensorCodec("fp32").wire_bytes(4000) == 4000
+
+    def test_unknown_codec(self):
+        with pytest.raises(ValueError, match="unknown codec"):
+            TensorCodec("bf16")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            TensorCodec("fp16").wire_bytes(-1)
+
+
+class TestNumerics:
+    def test_fp32_round_trip_exact(self, rng):
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        codec = TensorCodec("fp32")
+        np.testing.assert_array_equal(codec.round_trip(x), x)
+
+    def test_fp16_round_trip_close(self, rng):
+        x = rng.standard_normal((16, 16)).astype(np.float32)
+        assert TensorCodec("fp16").max_abs_error(x) < 5e-3
+
+    def test_int8_round_trip_bounded_by_step(self, rng):
+        x = (rng.standard_normal((32, 32)) * 10).astype(np.float32)
+        codec = TensorCodec("int8")
+        step = (x.max() - x.min()) / 255.0
+        assert codec.max_abs_error(x) <= step * 0.51
+
+    def test_int8_constant_tensor(self):
+        x = np.full((4, 4), 3.14, dtype=np.float32)
+        codec = TensorCodec("int8")
+        np.testing.assert_allclose(codec.round_trip(x), x, atol=1e-6)
+
+    def test_encoded_payload_sizes(self, rng):
+        x = rng.standard_normal((10, 10)).astype(np.float32)
+        assert TensorCodec("fp32").encode(x).nbytes == 400
+        assert TensorCodec("fp16").encode(x).nbytes == 200
+        assert TensorCodec("int8").encode(x).nbytes == 100
+
+    def test_codec_mismatch_rejected(self, rng):
+        x = rng.standard_normal((2, 2)).astype(np.float32)
+        enc = TensorCodec("fp16").encode(x)
+        with pytest.raises(ValueError, match="mismatch"):
+            TensorCodec("int8").decode(enc)
+
+    def test_top1_preserved_through_int8_boundary(self, rng):
+        """Quantising the boundary tensor rarely flips the classification."""
+        from repro.graph.partitioner import GraphPartitioner
+        from repro.nn import GraphExecutor, SegmentExecutor
+
+        graph = build_model("squeezenet")
+        executor = GraphExecutor(graph, seed=3)
+        x = rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+        reference = executor.run(x)
+        part = GraphPartitioner(graph).partition(47)
+        head = SegmentExecutor(part.head, params=executor.params)
+        boundary = head.run({graph.input_name: x})
+        codec = TensorCodec("int8")
+        decoded = {k: codec.round_trip(v) for k, v in boundary.items()}
+        tail = SegmentExecutor(part.tail, params=executor.params)
+        result = tail.run(decoded)[graph.output_name]
+        assert np.argmax(result) == np.argmax(reference)
+
+
+class TestDecisionImpact:
+    def test_compression_shifts_point_earlier(self, trained_report):
+        """Cheaper uploads never push the partition point later."""
+        graph = build_model("squeezenet")
+        points = {}
+        for name in ("fp32", "fp16", "int8"):
+            engine = LoADPartEngine(
+                graph, trained_report.user_predictor, trained_report.edge_predictor,
+                upload_codec=TensorCodec(name),
+            )
+            points[name] = engine.decide(4e6).point
+        assert points["int8"] <= points["fp16"] <= points["fp32"]
+
+    def test_int8_rescues_low_bandwidth_offloading(self, trained_report):
+        """At 2 Mbps SqueezeNet is local with fp32 uploads but can offload
+        partially once uploads shrink 4x."""
+        graph = build_model("squeezenet")
+        fp32 = LoADPartEngine(graph, trained_report.user_predictor,
+                              trained_report.edge_predictor)
+        int8 = LoADPartEngine(graph, trained_report.user_predictor,
+                              trained_report.edge_predictor,
+                              upload_codec=TensorCodec("int8"))
+        n = fp32.num_nodes
+        assert fp32.decide(2e6).point == n
+        assert int8.decide(2e6).point < n

@@ -1,0 +1,110 @@
+"""Energy model and energy-aware decisions (Neurosurgeon-objective ext.)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.energy import (
+    EnergyParams,
+    energy_decision,
+    energy_of_partition,
+    weighted_decision,
+)
+
+
+@pytest.fixture
+def instance(alexnet_engine):
+    e = alexnet_engine
+    return list(e.device_times), list(e.edge_times), list(e.sizes)
+
+
+class TestEnergyOfPartition:
+    def test_local_is_pure_cpu_energy(self, instance):
+        device, edge, sizes = instance
+        params = EnergyParams()
+        n = len(device)
+        assert energy_of_partition(n, device, edge, sizes, 8e6, params=params) == \
+            pytest.approx(sum(device) * params.cpu_active_w)
+
+    def test_full_offload_is_radio_plus_idle(self, instance):
+        device, edge, sizes = instance
+        params = EnergyParams()
+        expected = sizes[0] * 8 / 8e6 * params.radio_tx_w + sum(edge) * params.idle_w
+        assert energy_of_partition(0, device, edge, sizes, 8e6, params=params) == \
+            pytest.approx(expected)
+
+    def test_k_scales_waiting_energy(self, instance):
+        device, edge, sizes = instance
+        e1 = energy_of_partition(0, device, edge, sizes, 8e6, k=1.0)
+        e5 = energy_of_partition(0, device, edge, sizes, 8e6, k=5.0)
+        assert e5 > e1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParams(cpu_active_w=-1.0)
+
+
+class TestEnergyDecision:
+    def test_matches_brute_force(self, instance):
+        device, edge, sizes = instance
+        params = EnergyParams()
+        decision = energy_decision(device, edge, sizes, 8e6, params=params)
+        energies = [
+            energy_of_partition(p, device, edge, sizes, 8e6, params=params)
+            for p in range(len(device) + 1)
+        ]
+        assert decision.point == int(np.argmin(energies)) or \
+            energies[decision.point] == pytest.approx(min(energies))
+
+    def test_expensive_radio_pushes_local(self, instance):
+        device, edge, sizes = instance
+        cheap = EnergyParams(radio_tx_w=0.1)
+        costly = EnergyParams(radio_tx_w=50.0)
+        p_cheap = energy_decision(device, edge, sizes, 8e6, params=cheap).point
+        p_costly = energy_decision(device, edge, sizes, 8e6, params=costly).point
+        assert p_costly >= p_cheap
+
+    def test_idle_cheaper_than_compute_favours_offload(self, instance):
+        device, edge, sizes = instance
+        # Free waiting, very expensive compute: ship everything out.
+        params = EnergyParams(cpu_active_w=100.0, idle_w=0.0, radio_tx_w=0.01)
+        decision = energy_decision(device, edge, sizes, 64e6, params=params)
+        assert decision.point == 0
+
+
+class TestWeightedDecision:
+    def test_zero_weight_recovers_latency_decision(self, instance, alexnet_engine):
+        device, edge, sizes = instance
+        weighted = weighted_decision(device, edge, sizes, 8e6, energy_weight=0.0)
+        assert weighted.point == alexnet_engine.decide(8e6).point
+
+    def test_weight_interpolates_between_objectives(self, instance):
+        device, edge, sizes = instance
+        latency_p = weighted_decision(device, edge, sizes, 8e6, energy_weight=0.0).point
+        energy_p = energy_decision(device, edge, sizes, 8e6).point
+        heavy = weighted_decision(device, edge, sizes, 8e6, energy_weight=100.0).point
+        # A huge weight converges toward the relative-price structure of the
+        # energy objective.
+        lo, hi = sorted((latency_p, energy_p))
+        assert 0 <= heavy <= len(device)
+
+    def test_negative_weight_rejected(self, instance):
+        device, edge, sizes = instance
+        with pytest.raises(ValueError):
+            weighted_decision(device, edge, sizes, 8e6, energy_weight=-1.0)
+
+    def test_objective_value_consistency(self, instance):
+        device, edge, sizes = instance
+        params = EnergyParams()
+        w = 0.5
+        decision = weighted_decision(device, edge, sizes, 8e6, energy_weight=w,
+                                     params=params)
+        # Recompute the weighted objective directly at the chosen point.
+        p = decision.point
+        n = len(device)
+        latency = sum(device[:p])
+        energy = sum(device[:p]) * params.cpu_active_w
+        if p < n:
+            up = sizes[p] * 8 / 8e6
+            latency += up + sum(edge[p:])
+            energy += up * params.radio_tx_w + sum(edge[p:]) * params.idle_w
+        assert decision.predicted_latency == pytest.approx(latency + w * energy, rel=1e-9)

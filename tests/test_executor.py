@@ -1,0 +1,146 @@
+"""Executors: the partitioned-equals-monolithic invariant, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partitioner import GraphPartitioner
+from repro.models import build_model
+from repro.nn.executor import GraphExecutor, SegmentExecutor, init_parameters
+
+
+def run_partitioned(graph, executor, part, x):
+    """Drive head then tail exactly as the runtime would."""
+    boundary = {}
+    if not part.head.is_empty or part.partition_point > 0:
+        head = SegmentExecutor(part.head, params=executor.params)
+        boundary = dict(head.run({graph.input_name: x})) if part.partition_point > 0 else {}
+    if graph.input_name in part.transfer_specs:
+        boundary[graph.input_name] = x
+    if part.tail.is_empty:
+        return boundary[graph.output_name]
+    tail = SegmentExecutor(part.tail, params=executor.params)
+    return tail.run(boundary)[graph.output_name]
+
+
+class TestGraphExecutor:
+    def test_output_shape(self, chain_graph, rng):
+        ex = GraphExecutor(chain_graph)
+        x = rng.standard_normal(chain_graph.input_spec.shape).astype(np.float32)
+        assert ex.run(x).shape == chain_graph.output_spec.shape
+
+    def test_rejects_wrong_input_shape(self, chain_graph, rng):
+        ex = GraphExecutor(chain_graph)
+        with pytest.raises(ValueError, match="input shape"):
+            ex.run(np.zeros((1, 3, 8, 8), dtype=np.float32))
+
+    def test_deterministic_given_seed(self, chain_graph, rng):
+        x = rng.standard_normal(chain_graph.input_spec.shape).astype(np.float32)
+        a = GraphExecutor(chain_graph, seed=5).run(x)
+        b = GraphExecutor(chain_graph, seed=5).run(x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, chain_graph, rng):
+        x = rng.standard_normal(chain_graph.input_spec.shape).astype(np.float32)
+        a = GraphExecutor(chain_graph, seed=5).run(x)
+        b = GraphExecutor(chain_graph, seed=6).run(x)
+        assert np.abs(a - b).max() > 0
+
+    def test_keep_intermediates(self, chain_graph, rng):
+        ex = GraphExecutor(chain_graph)
+        x = rng.standard_normal(chain_graph.input_spec.shape).astype(np.float32)
+        ex.run(x, keep=["relu"])
+        assert "relu" in ex.last_intermediates
+        assert np.all(ex.last_intermediates["relu"] >= 0)
+
+    def test_dag_execution(self, diamond_graph, rng):
+        ex = GraphExecutor(diamond_graph)
+        x = rng.standard_normal(diamond_graph.input_spec.shape).astype(np.float32)
+        out = ex.run(x)
+        assert out.shape == diamond_graph.output_spec.shape
+        assert np.all(out >= 0)  # final relu
+
+
+class TestInitParameters:
+    def test_same_name_same_seed_identical(self, chain_graph):
+        nodes = [chain_graph.node(n) for n in chain_graph.topological_order()]
+        a = init_parameters(nodes, seed=1)
+        b = init_parameters(nodes, seed=1)
+        for name in a:
+            np.testing.assert_array_equal(a[name], b[name])
+
+    def test_gamma_is_ones(self, diamond_graph):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder("g", (1, 4, 4, 4))
+        x = b.batchnorm(b.input, name="bn")
+        b.output(x)
+        g = b.build()
+        params = init_parameters([g.node("bn")], seed=0)
+        np.testing.assert_array_equal(params["bn.gamma"], np.ones(4, dtype=np.float32))
+
+    def test_bias_is_zeros(self, chain_graph):
+        params = init_parameters([chain_graph.node("bias")], seed=0)
+        np.testing.assert_array_equal(params["bias.bias"], np.zeros(8, dtype=np.float32))
+
+
+class TestSegmentExecutor:
+    def test_missing_boundary_rejected(self, chain_graph):
+        part = GraphPartitioner(chain_graph).partition(3)
+        tail = SegmentExecutor(part.tail)
+        with pytest.raises(ValueError, match="missing boundary"):
+            tail.run({})
+
+    def test_wrong_boundary_shape_rejected(self, chain_graph):
+        part = GraphPartitioner(chain_graph).partition(3)
+        tail = SegmentExecutor(part.tail)
+        bad = {name: np.zeros((1, 1, 1, 1), dtype=np.float32) for name in part.transfer_specs}
+        with pytest.raises(ValueError, match="shape"):
+            tail.run(bad)
+
+
+class TestPartitionEquivalence:
+    """The core functional invariant: splitting never changes the output."""
+
+    @pytest.mark.parametrize("p", [0, 1, 3, 5, 6])
+    def test_chain_all_points(self, chain_graph, rng, p):
+        x = rng.standard_normal(chain_graph.input_spec.shape).astype(np.float32)
+        ex = GraphExecutor(chain_graph, seed=3)
+        ref = ex.run(x)
+        part = GraphPartitioner(chain_graph).partition(p)
+        got = run_partitioned(chain_graph, ex, part, x)
+        np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-6)
+
+    def test_diamond_every_point(self, diamond_graph, rng):
+        x = rng.standard_normal(diamond_graph.input_spec.shape).astype(np.float32)
+        ex = GraphExecutor(diamond_graph, seed=3)
+        ref = ex.run(x)
+        partitioner = GraphPartitioner(diamond_graph)
+        for p in range(len(diamond_graph) + 1):
+            part = partitioner.partition(p)
+            got = run_partitioned(diamond_graph, ex, part, x)
+            np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-6)
+
+    def test_fire_every_point(self, fire_graph, rng):
+        x = rng.standard_normal(fire_graph.input_spec.shape).astype(np.float32)
+        ex = GraphExecutor(fire_graph, seed=3)
+        ref = ex.run(x)
+        partitioner = GraphPartitioner(fire_graph)
+        for p in range(len(fire_graph) + 1):
+            got = run_partitioned(fire_graph, ex, partitioner.partition(p), x)
+            np.testing.assert_allclose(got, ref, rtol=1e-5, atol=1e-6)
+
+    @pytest.mark.parametrize("model,points", [
+        ("alexnet", (0, 4, 8, 19, 27)),
+        ("squeezenet", (0, 5, 26, 47, 92)),
+        ("resnet18", (0, 9, 35, 70)),
+    ])
+    def test_zoo_models_at_landmark_points(self, model, points, rng):
+        graph = build_model(model)
+        x = rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+        ex = GraphExecutor(graph, seed=9)
+        ref = ex.run(x)
+        partitioner = GraphPartitioner(graph)
+        for p in points:
+            part = partitioner.partition(p)
+            got = run_partitioned(graph, ex, part, x)
+            np.testing.assert_allclose(got, ref, rtol=2e-4, atol=1e-5)

@@ -1,0 +1,64 @@
+"""Gradient-boosted trees: regression quality and feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.gbt import GradientBoostedTrees, rank_features
+
+
+class TestRegression:
+    def test_fits_linear_function(self, rng):
+        X = rng.random((400, 2))
+        y = 3 * X[:, 0] + 1.0
+        model = GradientBoostedTrees(n_estimators=60).fit(X, y)
+        pred = model.predict(X)
+        assert np.sqrt(((pred - y) ** 2).mean()) < 0.15
+
+    def test_fits_step_function(self, rng):
+        X = rng.random((400, 1))
+        y = (X[:, 0] > 0.5).astype(float)
+        model = GradientBoostedTrees(n_estimators=40).fit(X, y)
+        pred = model.predict(X)
+        assert ((pred > 0.5) == (y > 0.5)).mean() > 0.97
+
+    def test_improves_over_mean_baseline(self, rng):
+        X = rng.random((300, 3))
+        y = np.sin(X[:, 0] * 6) + X[:, 1] ** 2
+        model = GradientBoostedTrees().fit(X, y)
+        model_sse = ((model.predict(X) - y) ** 2).sum()
+        mean_sse = ((y - y.mean()) ** 2).sum()
+        assert model_sse < 0.2 * mean_sse
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            GradientBoostedTrees().fit(rng.random(10), rng.random(10))
+        with pytest.raises(ValueError):
+            GradientBoostedTrees().fit(rng.random((10, 2)), rng.random(9))
+
+
+class TestImportance:
+    def test_relevant_feature_dominates(self, rng):
+        X = rng.random((500, 4))
+        y = 10 * X[:, 2] + 0.01 * rng.standard_normal(500)
+        model = GradientBoostedTrees(n_estimators=30).fit(X, y)
+        importance = model.feature_importance()
+        assert importance.argmax() == 2
+        assert importance[2] > 0.9
+
+    def test_importance_sums_to_one(self, rng):
+        X = rng.random((200, 3))
+        y = X[:, 0] + X[:, 1]
+        model = GradientBoostedTrees().fit(X, y)
+        assert model.feature_importance().sum() == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GradientBoostedTrees().feature_importance()
+
+    def test_rank_features_sorted(self, rng):
+        X = rng.random((300, 3))
+        y = 5 * X[:, 1] + X[:, 0]
+        ranking = rank_features(X, y, ["a", "b", "c"])
+        scores = list(ranking.values())
+        assert scores == sorted(scores, reverse=True)
+        assert list(ranking)[0] == "b"

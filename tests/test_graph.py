@@ -1,0 +1,178 @@
+"""ComputationGraph: construction, topological order, cuts."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph, GraphError
+from repro.graph.node import CNode, TensorSpec
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        g = ComputationGraph("g", TensorSpec((1, 4)))
+        g.add_node(CNode("a", "relu", ["input"]))
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_node(CNode("a", "relu", ["input"]))
+
+    def test_node_named_like_input_rejected(self):
+        g = ComputationGraph("g", TensorSpec((1, 4)))
+        with pytest.raises(GraphError):
+            g.add_node(CNode("input", "relu", ["input"]))
+
+    def test_unknown_input_rejected(self):
+        g = ComputationGraph("g", TensorSpec((1, 4)))
+        with pytest.raises(GraphError, match="unknown input"):
+            g.add_node(CNode("a", "relu", ["nope"]))
+
+    def test_output_must_exist(self):
+        g = ComputationGraph("g", TensorSpec((1, 4)))
+        with pytest.raises(GraphError):
+            g.set_output("missing")
+
+    def test_shapes_inferred_on_add(self, chain_graph):
+        assert chain_graph.node("conv").output.shape == (1, 8, 16, 16)
+        assert chain_graph.node("fc").output.shape == (1, 10)
+
+    def test_params_attached(self, chain_graph):
+        assert chain_graph.node("conv").params[0].spec.shape == (8, 3, 3, 3)
+        assert chain_graph.node("fc").params[0].spec.shape == (512, 10)
+
+    def test_output_spec(self, chain_graph):
+        assert chain_graph.output_spec.shape == (1, 10)
+
+    def test_len_and_contains(self, chain_graph):
+        assert len(chain_graph) == 6
+        assert "conv" in chain_graph
+        assert "nope" not in chain_graph
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, chain_graph, diamond_graph, fire_graph):
+        chain_graph.validate()
+        diamond_graph.validate()
+        fire_graph.validate()
+
+    def test_dead_node_detected(self):
+        b = GraphBuilder("g", (1, 4))
+        x = b.relu(b.input, name="a")
+        b.relu(b.input, name="dead")
+        b.output(x)
+        with pytest.raises(GraphError, match="dead"):
+            b.graph.validate()
+
+    def test_missing_output_detected(self):
+        g = ComputationGraph("g", TensorSpec((1, 4)))
+        g.add_node(CNode("a", "relu", ["input"]))
+        with pytest.raises(GraphError, match="no output"):
+            g.validate()
+
+    def test_empty_graph_detected(self):
+        g = ComputationGraph("g", TensorSpec((1, 4)))
+        with pytest.raises(GraphError):
+            g.validate()
+
+
+class TestTopologicalOrder:
+    def test_chain_order(self, chain_graph):
+        assert chain_graph.topological_order() == ["conv", "bias", "relu", "pool", "flat", "fc"]
+
+    def test_diamond_order_is_valid(self, diamond_graph):
+        order = diamond_graph.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        assert pos["stem"] < pos["left"]
+        assert pos["stem"] < pos["right"]
+        assert pos["left"] < pos["join"]
+        assert pos["right"] < pos["join"]
+        assert pos["join"] < pos["out"]
+
+    def test_order_deterministic_across_rebuilds(self):
+        def build():
+            b = GraphBuilder("g", (1, 4, 8, 8))
+            s = b.conv(b.input, 4, kernel=1, name="s")
+            a = b.relu(s, name="a")
+            c = b.sigmoid(s, name="c")
+            j = b.add(a, c, name="j")
+            b.output(j)
+            return b.build().topological_order()
+
+        assert build() == build()
+
+    def test_order_cached_copy_is_isolated(self, chain_graph):
+        order = chain_graph.topological_order()
+        order.append("tampered")
+        assert "tampered" not in chain_graph.topological_order()
+
+
+class TestCuts:
+    def test_s0_is_input_size(self, chain_graph):
+        sizes = chain_graph.transmission_sizes()
+        assert sizes[0] == chain_graph.input_spec.nbytes
+
+    def test_sn_is_zero(self, chain_graph):
+        assert chain_graph.transmission_sizes()[-1] == 0
+
+    def test_chain_cut_sizes_track_node_outputs(self, chain_graph):
+        sizes = chain_graph.transmission_sizes()
+        order = chain_graph.topological_order()
+        for i, name in enumerate(order[:-1], start=1):
+            assert sizes[i] == chain_graph.node(name).output.nbytes
+
+    def test_chain_cuts_have_width_one(self, chain_graph):
+        cuts = chain_graph.cuts()
+        for cut in cuts[1:-1]:
+            assert cut.width == 1
+
+    def test_diamond_cut_width_two_inside_block(self, diamond_graph):
+        cuts = diamond_graph.cuts()
+        order = diamond_graph.topological_order()
+        # After both branches started but before the join: two tensors cross.
+        widths = {cut.index: cut.width for cut in cuts}
+        # Position after the first branch node (index 2): stem output still
+        # needed by the other branch, plus the finished branch output.
+        assert widths[2] == 2
+
+    def test_diamond_cut_bytes_sum_crossing_tensors(self, diamond_graph):
+        cuts = diamond_graph.cuts()
+        cut = cuts[2]
+        total = 0
+        for name in cut.crossing:
+            if name == diamond_graph.input_name:
+                total += diamond_graph.input_spec.nbytes
+            else:
+                total += diamond_graph.node(name).output.nbytes
+        assert cut.upload_bytes == total
+
+    def test_input_crossing_when_consumed_late(self):
+        b = GraphBuilder("g", (1, 4, 8, 8))
+        a = b.conv(b.input, 4, kernel=3, padding=1, name="a")
+        a = b.relu(a, name="r")
+        # A long skip connection from the raw input.
+        skip = b.conv(b.input, 4, kernel=1, name="skip")
+        j = b.add(a, skip, name="j")
+        b.output(j)
+        g = b.build()
+        cuts = g.cuts()
+        order = g.topological_order()
+        # Cut right after "a": input must still cross (skip not computed yet).
+        idx = order.index("a") + 1
+        if order[: idx] == ["a"]:
+            assert g.input_name in cuts[idx].crossing
+
+    def test_flops_of_matches_registry(self, chain_graph):
+        assert chain_graph.flops_of("conv") == 3 * 16 * 16 * 9 * 8
+        assert chain_graph.flops_of("fc") == 512 * 10
+
+    def test_total_flops_positive(self, chain_graph):
+        assert chain_graph.total_flops() > 0
+
+    def test_summary_contains_nodes(self, chain_graph):
+        text = chain_graph.summary()
+        assert "conv" in text and "GFLOPs" in text
+
+
+class TestConsumers:
+    def test_consumer_map(self, diamond_graph):
+        consumers = diamond_graph.consumers()
+        assert set(consumers["stem"]) == {"left", "right"}
+        assert consumers["out"] == []
+        assert consumers[diamond_graph.input_name] == ["stem"]

@@ -1,0 +1,44 @@
+"""RMSE / MAPE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.metrics import mape, rmse
+
+
+class TestRmse:
+    def test_zero_for_perfect(self):
+        a = np.array([1.0, 2.0, 3.0])
+        assert rmse(a, a) == 0.0
+
+    def test_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            rmse(np.ones(3), np.ones(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+
+
+class TestMape:
+    def test_known_value(self):
+        actual = np.array([100.0, 200.0])
+        predicted = np.array([110.0, 180.0])
+        assert mape(actual, predicted) == pytest.approx(0.10)
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_symmetric_in_error_sign(self):
+        actual = np.array([100.0])
+        assert mape(actual, np.array([90.0])) == mape(actual, np.array([110.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mape(np.ones(2), np.ones(3))

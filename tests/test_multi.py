@@ -1,0 +1,124 @@
+"""Multi-client fleet extension: shared server, endogenous load."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.multi import (
+    EndogenousLoad,
+    MultiClientSystem,
+    SharedLoadTracker,
+)
+from repro.runtime.system import SystemConfig
+
+
+class TestSharedLoadTracker:
+    def test_empty_is_idle(self):
+        assert SharedLoadTracker().utilization(0.0) == 0.0
+
+    def test_utilization_is_busy_over_window(self):
+        t = SharedLoadTracker(window_s=2.0)
+        t.record(0.0, 0.5)
+        t.record(1.0, 0.5)
+        assert t.utilization(1.0) == pytest.approx(0.5)
+
+    def test_old_records_evicted(self):
+        t = SharedLoadTracker(window_s=1.0)
+        t.record(0.0, 1.0)
+        assert t.utilization(5.0) == 0.0
+
+    def test_capped_at_one(self):
+        t = SharedLoadTracker(window_s=1.0)
+        t.record(0.0, 10.0)
+        assert t.utilization(0.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SharedLoadTracker(window_s=0.0)
+        with pytest.raises(ValueError):
+            SharedLoadTracker().record(0.0, -1.0)
+
+
+class TestEndogenousLoad:
+    def test_idle_level(self):
+        load = EndogenousLoad(SharedLoadTracker())
+        level = load.level_at(0.0)
+        assert level.utilization == 0.0
+        assert level.initial_wait_s == 0.0
+
+    def test_contention_grows_with_utilization(self):
+        tracker = SharedLoadTracker(window_s=1.0)
+        load = EndogenousLoad(tracker)
+        idle = load.level_at(0.0)
+        tracker.record(0.0, 0.5)
+        half = load.level_at(0.0)
+        tracker.record(0.0, 0.5)
+        full = load.level_at(0.0)
+        assert idle.wait_mean_s < half.wait_mean_s < full.wait_mean_s
+        assert idle.contend_prob < half.contend_prob < full.contend_prob
+
+    def test_waits_diverge_near_saturation(self):
+        tracker = SharedLoadTracker(window_s=1.0)
+        load = EndogenousLoad(tracker)
+        tracker.record(0.0, 0.5)
+        at_half = load.level_at(0.0).wait_mean_s
+        tracker.record(0.0, 0.5)
+        at_full = load.level_at(0.0).wait_mean_s
+        assert at_full > 4 * at_half
+
+
+class TestMultiClientSystem:
+    @pytest.fixture(scope="class")
+    def engine(self, trained_report):
+        from repro.core.engine import LoADPartEngine
+        from repro.models import build_model
+
+        return LoADPartEngine(
+            build_model("resnet50"),
+            trained_report.user_predictor,
+            trained_report.edge_predictor,
+        )
+
+    def test_requires_clients(self, engine):
+        with pytest.raises(ValueError):
+            MultiClientSystem(engine, 0)
+
+    def test_single_client_matches_offloading(self, engine):
+        system = MultiClientSystem(engine, 1, config=SystemConfig(seed=1))
+        result = system.run(5.0)
+        assert len(result.timelines) == 1
+        assert result.total_requests > 3
+
+    def test_server_load_is_endogenous(self, engine):
+        system = MultiClientSystem(engine, 24,
+                                   config=SystemConfig(policy="full", seed=1))
+        system.run(8.0)
+        # A fleet of always-offload clients must visibly load the GPU.
+        assert system.tracker.utilization(8.0) > 0.3
+
+    def test_loadpart_fleet_self_stabilises(self, engine):
+        """The headline: load-aware clients retreat to local under
+        contention; load-oblivious clients pile onto the saturated GPU."""
+        results = {}
+        for policy in ("loadpart", "neurosurgeon"):
+            system = MultiClientSystem(engine, 24,
+                                       config=SystemConfig(policy=policy, seed=2))
+            results[policy] = system.run(25.0)
+        assert results["loadpart"].local_fraction > 0.15
+        assert results["neurosurgeon"].local_fraction == 0.0
+        assert results["loadpart"].mean_latency < results["neurosurgeon"].mean_latency
+
+    def test_fleet_throughput_improves(self, engine):
+        results = {}
+        for policy in ("loadpart", "neurosurgeon"):
+            system = MultiClientSystem(engine, 24,
+                                       config=SystemConfig(policy=policy, seed=2))
+            results[policy] = system.run(25.0)
+        assert results["loadpart"].total_requests > results["neurosurgeon"].total_requests
+
+    def test_records_interleave_in_time(self, engine):
+        system = MultiClientSystem(engine, 4, config=SystemConfig(seed=3))
+        result = system.run(5.0)
+        all_starts = sorted(r.start_s for t in result.timelines for r in t)
+        per_client_last = [t.records[-1].start_s for t in result.timelines]
+        # Every client kept issuing until near the horizon.
+        assert min(per_client_last) > 0.5 * max(all_starts)

@@ -1,0 +1,117 @@
+"""Three-tier (device/edge/cloud) partitioning extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multi_tier import (
+    MultiTierDecision,
+    multi_tier_brute_force,
+    multi_tier_decision,
+)
+
+
+def random_instance(seed, n=None):
+    rng = np.random.default_rng(seed)
+    n = n or int(rng.integers(1, 30))
+    device = rng.random(n).tolist()
+    edge = (rng.random(n) * 0.1).tolist()
+    cloud = (rng.random(n) * 0.02).tolist()
+    sizes = rng.integers(0, 10**6, n + 1).tolist()
+    return device, edge, cloud, sizes
+
+
+class TestAgainstBruteForce:
+    @given(seed=st.integers(0, 2**31), b1=st.floats(1e5, 1e8),
+           b2=st.floats(1e5, 1e9), ke=st.floats(1.0, 50.0), kc=st.floats(1.0, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_optimal_value_matches(self, seed, b1, b2, ke, kc):
+        device, edge, cloud, sizes = random_instance(seed)
+        fast = multi_tier_decision(device, edge, cloud, sizes, b1, b2, ke, kc)
+        brute = multi_tier_brute_force(device, edge, cloud, sizes, b1, b2, ke, kc)
+        assert fast.predicted_latency == pytest.approx(brute.predicted_latency, rel=1e-9)
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=50, deadline=None)
+    def test_points_are_consistent_with_value(self, seed):
+        device, edge, cloud, sizes = random_instance(seed)
+        d = multi_tier_decision(device, edge, cloud, sizes, 8e6, 50e6)
+        p, q, n = d.device_point, d.edge_point, len(device)
+        # Recompute the objective at the returned points.
+        value = sum(device[:p])
+        if not (p == n and q == n):
+            value += sizes[p] * 8 / 8e6 + sum(edge[p:q])
+            if q < n:
+                value += sizes[q] * 8 / 50e6 + sum(cloud[q:])
+        assert d.predicted_latency == pytest.approx(value, rel=1e-9)
+        assert 0 <= p <= q <= n
+        assert (d.device_nodes, d.edge_nodes, d.cloud_nodes) == (p, q - p, n - q)
+
+
+class TestStructure:
+    def test_dead_cloud_link_reduces_to_two_tier(self, alexnet_engine):
+        """With an unusable edge->cloud link, the result is Algorithm 1's."""
+        e = alexnet_engine
+        cloud = (np.asarray(e.edge_times) / 3).tolist()
+        three = multi_tier_decision(
+            list(e.device_times), list(e.edge_times), cloud, list(e.sizes),
+            8e6, 1.0,  # 1 bit/s to the cloud
+        )
+        two = e.decide(8e6)
+        assert not three.uses_cloud
+        assert three.device_point == two.point
+        assert three.predicted_latency == pytest.approx(two.predicted_latency, rel=1e-9)
+
+    def test_fast_cloud_pulls_work_from_edge(self, alexnet_engine):
+        e = alexnet_engine
+        cloud = (np.asarray(e.edge_times) / 10).tolist()
+        three = multi_tier_decision(
+            list(e.device_times), list(e.edge_times), cloud, list(e.sizes),
+            8e6, 1e9,  # effectively free edge->cloud hop
+        )
+        assert three.uses_cloud
+        assert three.cloud_nodes > 0
+
+    def test_loaded_edge_skipped_entirely(self, alexnet_engine):
+        """Saturated edge, fast cloud: the tensor transits the edge."""
+        e = alexnet_engine
+        cloud = (np.asarray(e.edge_times)).tolist()
+        three = multi_tier_decision(
+            list(e.device_times), list(e.edge_times), cloud, list(e.sizes),
+            8e6, 1e8, k_edge=500.0, k_cloud=1.0,
+        )
+        assert three.edge_nodes == 0
+        assert three.uses_cloud or three.is_local
+
+    def test_terrible_everything_goes_local(self, alexnet_engine):
+        e = alexnet_engine
+        cloud = (np.asarray(e.edge_times)).tolist()
+        three = multi_tier_decision(
+            list(e.device_times), list(e.edge_times), cloud, list(e.sizes),
+            1e3, 1e3, k_edge=100.0, k_cloud=100.0,
+        )
+        assert three.is_local
+        assert three.predicted_latency == pytest.approx(float(np.sum(e.device_times)))
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multi_tier_decision([1.0], [1.0, 2.0], [1.0], [1, 0], 1e6, 1e6)
+
+    def test_sizes_length(self):
+        with pytest.raises(ValueError):
+            multi_tier_decision([1.0], [1.0], [1.0], [1], 1e6, 1e6)
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            multi_tier_decision([1.0], [1.0], [1.0], [1, 0], 0.0, 1e6)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            multi_tier_decision([1.0], [1.0], [1.0], [1, 0], 1e6, 1e6, k_edge=0.5)
+
+    def test_negative_times(self):
+        with pytest.raises(ValueError):
+            multi_tier_decision([-1.0], [1.0], [1.0], [1, 0], 1e6, 1e6)

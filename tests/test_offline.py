@@ -1,0 +1,66 @@
+"""OfflineProfiler: the full Fig. 4 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.ops import CATEGORIES
+from repro.profiling.offline import TABLE3_ROWS, OfflineProfiler
+
+
+class TestCollect:
+    def test_samples_per_category(self):
+        prof = OfflineProfiler(samples_per_category=25, seed=1)
+        data = prof.collect()
+        assert set(data) == set(CATEGORIES)
+        assert all(len(v) == 25 for v in data.values())
+
+    def test_measurements_positive(self):
+        data = OfflineProfiler(samples_per_category=20, seed=2).collect()
+        for samples in data.values():
+            for s in samples:
+                assert s.device_time > 0 and s.edge_time > 0
+
+    def test_device_slower_than_edge_on_average(self):
+        data = OfflineProfiler(samples_per_category=40, seed=3).collect()
+        dev = np.mean([s.device_time for s in data["conv"]])
+        edge = np.mean([s.edge_time for s in data["conv"]])
+        assert dev > edge
+
+
+class TestRun:
+    def test_report_structure(self, trained_report):
+        names = [r.name for r in trained_report.rows]
+        assert names == [row[0] for row in TABLE3_ROWS]
+        for r in trained_report.rows:
+            assert r.edge_rmse >= 0 and r.device_rmse >= 0
+            assert 0 <= r.edge_mape and 0 <= r.device_mape
+
+    def test_train_test_split_counts(self, trained_report):
+        for category in CATEGORIES:
+            total = trained_report.train_counts[category] + trained_report.test_counts[category]
+            assert total == 150
+            assert trained_report.test_counts[category] >= 1
+
+    def test_format_table3_contains_rows(self, trained_report):
+        text = trained_report.format_table3()
+        assert "Conv" in text and "MAPE" in text
+
+    def test_reproducible_with_same_seed(self):
+        a = OfflineProfiler(samples_per_category=40, seed=9).run()
+        b = OfflineProfiler(samples_per_category=40, seed=9).run()
+        for ra, rb in zip(a.rows, b.rows):
+            assert ra == rb
+
+    def test_invalid_test_fraction(self):
+        with pytest.raises(ValueError):
+            OfflineProfiler(test_fraction=1.5)
+
+    def test_conv_is_among_hardest_on_device(self, trained_report):
+        """Paper's Table III shape: conv kinds are the least predictable."""
+        rows = {r.name: r for r in trained_report.rows}
+        conv_mape = rows["Conv"].device_mape
+        assert conv_mape > rows["Matmul"].device_mape
+
+    def test_matmul_is_most_accurate(self, trained_report):
+        rows = {r.name: r for r in trained_report.rows}
+        assert rows["Matmul"].device_mape == min(r.device_mape for r in trained_report.rows)

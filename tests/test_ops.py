@@ -1,0 +1,180 @@
+"""Op registry: shape inference, FLOPs (Table I), parameters, arity."""
+
+import pytest
+
+from repro.graph.node import TensorSpec
+from repro.graph.ops import OP_REGISTRY, node_flops, op_spec
+
+
+def infer(op, shapes, **attrs):
+    spec = op_spec(op)
+    inputs = [TensorSpec(s) for s in shapes]
+    return spec.infer_shape(inputs, attrs)
+
+
+def flops(op, shapes, **attrs):
+    inputs = [TensorSpec(s) for s in shapes]
+    out = op_spec(op).infer_shape(inputs, attrs)
+    return node_flops(op, inputs, out, attrs)
+
+
+class TestShapeInference:
+    def test_conv2d_basic(self):
+        out = infer("conv2d", [(1, 3, 224, 224)], out_channels=64, kernel=11, stride=4, padding=2)
+        assert out.shape == (1, 64, 55, 55)
+
+    def test_conv2d_same_padding(self):
+        out = infer("conv2d", [(1, 8, 14, 14)], out_channels=16, kernel=3, padding=1)
+        assert out.shape == (1, 16, 14, 14)
+
+    def test_conv2d_asymmetric_kernel(self):
+        out = infer("conv2d", [(1, 8, 17, 17)], out_channels=4, kernel=(1, 7), padding=(0, 3))
+        assert out.shape == (1, 4, 17, 17)
+
+    def test_conv2d_rejects_collapsed_output(self):
+        with pytest.raises(ValueError):
+            infer("conv2d", [(1, 3, 4, 4)], out_channels=8, kernel=7)
+
+    def test_conv2d_rejects_rank3(self):
+        with pytest.raises(ValueError):
+            infer("conv2d", [(3, 224, 224)], out_channels=8, kernel=3)
+
+    def test_dwconv2d_keeps_channels(self):
+        out = infer("dwconv2d", [(1, 32, 16, 16)], kernel=3, padding=1)
+        assert out.shape == (1, 32, 16, 16)
+
+    def test_dwconv2d_multiplier(self):
+        out = infer("dwconv2d", [(1, 8, 8, 8)], kernel=3, padding=1, channel_multiplier=2)
+        assert out.shape == (1, 16, 8, 8)
+
+    def test_matmul(self):
+        assert infer("matmul", [(1, 9216)], out_features=4096).shape == (1, 4096)
+
+    def test_matmul_rejects_rank4(self):
+        with pytest.raises(ValueError):
+            infer("matmul", [(1, 3, 4, 4)], out_features=8)
+
+    def test_maxpool_default_stride_is_kernel(self):
+        assert infer("maxpool2d", [(1, 8, 8, 8)], kernel=2).shape == (1, 8, 4, 4)
+
+    def test_maxpool_explicit_stride(self):
+        assert infer("maxpool2d", [(1, 64, 55, 55)], kernel=3, stride=2).shape == (1, 64, 27, 27)
+
+    def test_global_avgpool(self):
+        assert infer("global_avgpool", [(1, 512, 7, 7)]).shape == (1, 512, 1, 1)
+
+    def test_add_requires_matching_shapes(self):
+        with pytest.raises(ValueError):
+            infer("add", [(1, 8, 4, 4), (1, 8, 4, 5)])
+
+    def test_concat_channel_axis(self):
+        out = infer("concat", [(1, 8, 4, 4), (1, 16, 4, 4)], axis=1)
+        assert out.shape == (1, 24, 4, 4)
+
+    def test_concat_rejects_spatial_mismatch(self):
+        with pytest.raises(ValueError):
+            infer("concat", [(1, 8, 4, 4), (1, 8, 5, 4)], axis=1)
+
+    def test_concat_negative_axis(self):
+        out = infer("concat", [(1, 8, 4, 4), (1, 8, 4, 4)], axis=-3)
+        assert out.shape == (1, 16, 4, 4)
+
+    def test_flatten(self):
+        assert infer("flatten", [(2, 8, 4, 4)]).shape == (2, 128)
+
+    def test_elementwise_keep_shape(self):
+        for op in ("relu", "sigmoid", "tanh", "softmax", "batchnorm", "bias_add", "lrn", "dropout"):
+            assert infer(op, [(1, 8, 4, 4)]).shape == (1, 8, 4, 4)
+
+    def test_make_tuple_combines_payload(self):
+        out = infer("make_tuple", [(1, 8, 4, 4), (1, 16)])
+        assert out.shape == (8 * 16 + 16,)
+
+
+class TestFlopsTable1:
+    """Hand-computed Table I values."""
+
+    def test_conv(self):
+        # N*C_in*H_out*W_out*K_H*K_W*C_out = 1*3*55*55*11*11*64
+        assert flops("conv2d", [(1, 3, 224, 224)], out_channels=64, kernel=11,
+                     stride=4, padding=2) == 1 * 3 * 55 * 55 * 11 * 11 * 64
+
+    def test_dwconv(self):
+        assert flops("dwconv2d", [(1, 32, 16, 16)], kernel=3, padding=1) == 32 * 16 * 16 * 9
+
+    def test_matmul(self):
+        assert flops("matmul", [(1, 9216)], out_features=4096) == 9216 * 4096
+
+    def test_pooling(self):
+        # N*C_out*H_out*W_out*K_H*K_W
+        assert flops("maxpool2d", [(1, 64, 55, 55)], kernel=3, stride=2) == 64 * 27 * 27 * 9
+
+    def test_global_avgpool_is_input_size(self):
+        assert flops("global_avgpool", [(1, 512, 7, 7)]) == 512 * 49
+
+    def test_elementwise_is_input_size(self):
+        for op in ("bias_add", "relu", "batchnorm", "sigmoid", "tanh", "softmax", "lrn"):
+            assert flops(op, [(1, 8, 14, 14)]) == 8 * 14 * 14
+
+    def test_add_is_input_size(self):
+        assert flops("add", [(1, 8, 4, 4), (1, 8, 4, 4)]) == 128
+
+    def test_structural_ops_are_free(self):
+        assert flops("flatten", [(1, 8, 4, 4)]) == 0
+        assert flops("concat", [(1, 4, 4, 4), (1, 4, 4, 4)]) == 0
+        assert flops("dropout", [(1, 8)]) == 0
+
+
+class TestParams:
+    def test_conv_weight_shape(self):
+        spec = op_spec("conv2d")
+        params = spec.make_params("c", [TensorSpec((1, 3, 8, 8))],
+                                  {"out_channels": 16, "kernel": 3})
+        assert len(params) == 1
+        assert params[0].spec.shape == (16, 3, 3, 3)
+        assert params[0].name == "c.weight"
+
+    def test_dwconv_weight_shape(self):
+        spec = op_spec("dwconv2d")
+        (w,) = spec.make_params("d", [TensorSpec((1, 32, 8, 8))], {"kernel": 3})
+        assert w.spec.shape == (32, 1, 3, 3)
+
+    def test_matmul_weight_shape(self):
+        spec = op_spec("matmul")
+        (w,) = spec.make_params("m", [TensorSpec((1, 128))], {"out_features": 64})
+        assert w.spec.shape == (128, 64)
+
+    def test_bias_add_param(self):
+        spec = op_spec("bias_add")
+        (b,) = spec.make_params("b", [TensorSpec((1, 64, 8, 8))], {})
+        assert b.spec.shape == (64,) and b.role == "bias"
+
+    def test_batchnorm_params(self):
+        spec = op_spec("batchnorm")
+        params = spec.make_params("bn", [TensorSpec((1, 32, 4, 4))], {})
+        assert [p.role for p in params] == ["gamma", "beta", "mean", "var"]
+        assert all(p.spec.shape == (32,) for p in params)
+
+
+class TestRegistry:
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError, match="unknown op"):
+            op_spec("conv3d")
+
+    def test_arity_checks(self):
+        with pytest.raises(ValueError):
+            op_spec("add").check_arity(1)
+        with pytest.raises(ValueError):
+            op_spec("relu").check_arity(2)
+        op_spec("concat").check_arity(5)  # unbounded
+
+    def test_all_ops_have_categories_or_none(self):
+        from repro.graph.ops import CATEGORIES, FUSED_CATEGORIES
+
+        known = set(CATEGORIES) | set(FUSED_CATEGORIES)
+        for name, spec in OP_REGISTRY.items():
+            assert spec.category is None or spec.category in known, name
+
+    def test_negative_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            infer("conv2d", [(1, 3, 8, 8)], out_channels=4, kernel=-3)

@@ -1,0 +1,179 @@
+"""Hypothesis property tests over randomly generated DAGs.
+
+Random graphs exercise the structural invariants the hand-written graphs
+cannot: arbitrary branching, skip connections, and joins.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.partitioner import GraphPartitioner
+from repro.nn.executor import GraphExecutor, SegmentExecutor
+from tests.helpers import brute_force
+
+
+@st.composite
+def random_dag(draw):
+    """A random small NCHW DAG built from shape-preserving ops."""
+    rng_seed = draw(st.integers(0, 2**31))
+    n_nodes = draw(st.integers(2, 14))
+    channels = draw(st.sampled_from([2, 4, 8]))
+    size = draw(st.sampled_from([4, 6, 8]))
+    rng = np.random.default_rng(rng_seed)
+
+    b = GraphBuilder(f"rand{rng_seed}", (1, channels, size, size))
+    produced = [b.input]
+    for i in range(n_nodes):
+        kind = rng.choice(["conv", "relu", "bn", "add", "sigmoid"])
+        src = produced[int(rng.integers(0, len(produced)))]
+        if kind == "conv":
+            name = b.conv(src, channels, kernel=3, padding=1, name=f"conv{i}")
+        elif kind == "relu":
+            name = b.relu(src, name=f"relu{i}")
+        elif kind == "bn":
+            name = b.batchnorm(src, name=f"bn{i}")
+        elif kind == "sigmoid":
+            name = b.sigmoid(src, name=f"sig{i}")
+        else:
+            other = produced[int(rng.integers(0, len(produced)))]
+            if other == src:
+                name = b.relu(src, name=f"relu{i}")
+            else:
+                name = b.add(src, other, name=f"add{i}")
+        produced.append(name)
+
+    # Join every loose end so the graph has a single output and no dead nodes.
+    graph = b.graph
+    consumers = graph.consumers()
+    loose = [n for n in graph.nodes if not consumers[n]]
+    while len(loose) > 1:
+        a, c = loose[0], loose[1]
+        joined = b.add(a, c, name=f"join_{a}_{c}")
+        loose = [joined] + loose[2:]
+    if not consumers[b.input] :
+        pass  # input always consumed: first node uses it
+    b.output(loose[0])
+    return b.build()
+
+
+class TestGraphInvariants:
+    @given(graph=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_topological_order_respects_edges(self, graph):
+        order = graph.topological_order()
+        assert sorted(order) == sorted(graph.nodes)
+        pos = {name: i for i, name in enumerate(order)}
+        for node in graph.nodes.values():
+            for dep in node.inputs:
+                if dep != graph.input_name:
+                    assert pos[dep] < pos[node.name]
+
+    @given(graph=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_sizes_well_formed(self, graph):
+        sizes = graph.transmission_sizes()
+        assert len(sizes) == len(graph) + 1
+        assert sizes[0] == graph.input_spec.nbytes
+        assert sizes[-1] == 0
+        assert all(s >= 0 for s in sizes)
+
+    @given(graph=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_cut_crossing_is_exact(self, graph):
+        """Every crossing tensor is consumed by the tail; nothing else is."""
+        order = graph.topological_order()
+        cuts = graph.cuts()
+        for cut in cuts:
+            head = set(order[: cut.index]) | {graph.input_name}
+            tail = set(order[cut.index:])
+            needed = set()
+            for name in tail:
+                for dep in graph.node(name).inputs:
+                    if dep in head:
+                        needed.add(dep)
+            assert set(cut.crossing) == needed
+
+    @given(graph=random_dag(), point_frac=st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_segments_cover_graph(self, graph, point_frac):
+        partitioner = GraphPartitioner(graph)
+        p = round(point_frac * len(graph))
+        part = partitioner.partition(p)
+        head = {n.name for n in part.head.compute_nodes}
+        tail = {n.name for n in part.tail.compute_nodes}
+        assert head | tail == set(graph.nodes)
+        assert not head & tail
+
+
+class TestSerialisationRoundTrip:
+    @given(graph=random_dag())
+    @settings(max_examples=30, deadline=None)
+    def test_json_round_trip_preserves_structure(self, graph):
+        from repro.graph.serialize import graph_from_json, graph_to_json
+
+        restored = graph_from_json(graph_to_json(graph))
+        assert restored.topological_order() == graph.topological_order()
+        assert restored.transmission_sizes() == graph.transmission_sizes()
+        assert restored.total_flops() == graph.total_flops()
+        for name in graph.nodes:
+            assert restored.node(name).output == graph.node(name).output
+
+    @given(graph=random_dag(), seed=st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_round_tripped_graph_executes_identically(self, graph, seed):
+        from repro.graph.serialize import graph_from_json, graph_to_json
+
+        restored = graph_from_json(graph_to_json(graph))
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+        a = GraphExecutor(graph, seed=seed).run(x)
+        b = GraphExecutor(restored, seed=seed).run(x)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExecutionEquivalence:
+    @given(graph=random_dag(), point_frac=st.floats(0.0, 1.0), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_partitioned_execution_matches(self, graph, point_frac, seed):
+        """The headline invariant on arbitrary DAGs."""
+        p = round(point_frac * len(graph))
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+        executor = GraphExecutor(graph, seed=seed)
+        ref = executor.run(x)
+
+        part = GraphPartitioner(graph).partition(p)
+        boundary = {}
+        if p > 0:
+            head = SegmentExecutor(part.head, params=executor.params)
+            boundary = dict(head.run({graph.input_name: x}))
+        if graph.input_name in part.transfer_specs:
+            boundary[graph.input_name] = x
+        if part.tail.is_empty:
+            got = boundary[graph.output_name]
+        else:
+            tail = SegmentExecutor(part.tail, params=executor.params)
+            got = tail.run(boundary)[graph.output_name]
+        np.testing.assert_allclose(got, ref, rtol=1e-4, atol=1e-5)
+
+
+class TestAlgorithmOnRandomGraphs:
+    @given(graph=random_dag(), seed=st.integers(0, 2**31),
+           bw=st.floats(1e5, 1e8), k=st.floats(1.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_algorithm1_on_real_cut_sizes(self, graph, seed, bw, k):
+        """Algorithm 1 with real graph cut sizes equals brute force."""
+        from repro.core.partition_algorithm import partition_decision
+
+        rng = np.random.default_rng(seed)
+        n = len(graph)
+        device = rng.random(n).tolist()
+        edge = (rng.random(n) * 0.01).tolist()
+        sizes = graph.transmission_sizes()
+        decision = partition_decision(device, edge, sizes, bw, k=k)
+        bf_p, bf_val = brute_force(device, edge, sizes, bw, k)
+        assert decision.point == bf_p
+        assert decision.predicted_latency == pytest.approx(bf_val, rel=1e-9)

@@ -1,0 +1,36 @@
+"""Rendering helpers used by the experiment regenerators."""
+
+import pytest
+
+from repro.experiments.reporting import ms, pct, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        text = render_table(["a", "bbb"], [(1, "x"), ("yy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert "yy" in lines[3]
+
+    def test_column_widths_fit_longest_cell(self):
+        text = render_table(["h"], [("longvalue",)])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len("longvalue")
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a"], [])
+        assert text.splitlines()[0] == "a"
+
+
+class TestFormatters:
+    def test_ms(self):
+        assert ms(0.1234) == "123.4"
+
+    def test_pct(self):
+        assert pct(0.1234) == "12.3%"

@@ -1,0 +1,53 @@
+"""JSON serialisation round trips."""
+
+import json
+
+import pytest
+
+from repro.graph.serialize import graph_from_json, graph_to_json
+from repro.models import build_model, list_models
+
+
+class TestRoundTrip:
+    def test_chain_round_trip(self, chain_graph):
+        restored = graph_from_json(graph_to_json(chain_graph))
+        assert restored.topological_order() == chain_graph.topological_order()
+        assert restored.output_name == chain_graph.output_name
+        assert restored.input_spec == chain_graph.input_spec
+
+    def test_attrs_preserved(self, chain_graph):
+        restored = graph_from_json(graph_to_json(chain_graph))
+        assert restored.node("conv").attrs == chain_graph.node("conv").attrs
+
+    def test_tuple_attrs_survive(self):
+        from repro.graph.builder import GraphBuilder
+
+        b = GraphBuilder("g", (1, 3, 17, 17))
+        x = b.conv(b.input, 4, kernel=(1, 7), padding=(0, 3), name="c")
+        b.output(x)
+        g = b.build()
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.node("c").attrs["kernel"] == (1, 7)
+        assert restored.node("c").output == g.node("c").output
+
+    @pytest.mark.parametrize("model", ["alexnet", "squeezenet", "resnet18"])
+    def test_zoo_round_trip(self, model):
+        g = build_model(model)
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.total_flops() == g.total_flops()
+        assert restored.transmission_sizes() == g.transmission_sizes()
+
+    def test_deterministic_output(self, chain_graph):
+        assert graph_to_json(chain_graph) == graph_to_json(chain_graph)
+
+    def test_version_check(self, chain_graph):
+        payload = json.loads(graph_to_json(chain_graph))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            graph_from_json(json.dumps(payload))
+
+    def test_round_trip_revalidates(self, chain_graph):
+        payload = json.loads(graph_to_json(chain_graph))
+        payload["nodes"][0]["inputs"] = ["missing"]
+        with pytest.raises(Exception):
+            graph_from_json(json.dumps(payload))

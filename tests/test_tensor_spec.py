@@ -1,0 +1,83 @@
+"""TensorSpec: validation, sizes."""
+
+import pytest
+
+from repro.graph.node import CNode, Parameter, TensorSpec
+
+
+class TestTensorSpec:
+    def test_numel(self):
+        assert TensorSpec((1, 3, 224, 224)).numel == 150528
+
+    def test_nbytes_float32(self):
+        assert TensorSpec((1, 3, 224, 224)).nbytes == 602112
+
+    def test_nbytes_matches_paper_inception_input(self):
+        # The paper: 1x3x299x299 input is 1.02 MB.
+        spec = TensorSpec((1, 3, 299, 299))
+        assert abs(spec.nbytes / 1e6 - 1.07) < 0.01  # 1.02 MiB == 1.07 MB
+
+    def test_nbytes_float16(self):
+        assert TensorSpec((2, 4), "float16").nbytes == 16
+
+    def test_rank(self):
+        assert TensorSpec((1, 2, 3)).rank == 3
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            TensorSpec(())
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1, 0, 3))
+
+    def test_rejects_negative_dim(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1, -2))
+
+    def test_rejects_non_int_dim(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1, 2.5))  # type: ignore[arg-type]
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(ValueError):
+            TensorSpec((1,), "float64")
+
+    def test_is_hashable_and_frozen(self):
+        a = TensorSpec((1, 2))
+        b = TensorSpec((1, 2))
+        assert a == b and hash(a) == hash(b)
+        with pytest.raises(Exception):
+            a.shape = (3,)  # type: ignore[misc]
+
+
+class TestParameter:
+    def test_nbytes(self):
+        p = Parameter("w", TensorSpec((8, 4, 3, 3)))
+        assert p.nbytes == 8 * 4 * 9 * 4
+
+    def test_default_role(self):
+        assert Parameter("w", TensorSpec((1,))).role == "weight"
+
+
+class TestCNode:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            CNode(name="", op="relu", inputs=["x"])
+
+    def test_rejects_duplicate_inputs_for_unary(self):
+        with pytest.raises(ValueError):
+            CNode(name="c", op="concat", inputs=["x", "x"])
+
+    def test_allows_duplicate_inputs_for_add(self):
+        node = CNode(name="a", op="add", inputs=["x", "x"])
+        assert node.inputs == ["x", "x"]
+
+    def test_param_bytes(self):
+        node = CNode(
+            name="c",
+            op="conv2d",
+            inputs=["x"],
+            params=[Parameter("c.w", TensorSpec((2, 2)))],
+        )
+        assert node.param_bytes == 16

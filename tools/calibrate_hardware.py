@@ -1,0 +1,53 @@
+"""Calibration harness: decision landscape of the true cost models.
+
+Prints, per model and bandwidth, the best partition point using the
+*noiseless* hardware models (device prefix + upload + GPU tail), which is
+what LoADPart should converge to. Used to tune DeviceParams/GpuParams.
+"""
+import numpy as np
+
+from repro.models import build_model, EVALUATED_MODELS
+from repro.profiling.features import profile_graph
+from repro.hardware import DeviceModel, GpuModel, GpuScheduler, LOAD_LEVELS
+
+GOODPUT = 1.0
+
+def landscape(name, bw_mbps, level_name="0%"):
+    g = build_model(name)
+    profs = profile_graph(g)
+    dev = DeviceModel(); gpu = GpuModel(); sched = GpuScheduler()
+    level = LOAD_LEVELS[level_name]
+    dev_times = [dev.mean_time(p) for p in profs]
+    gpu_times = gpu.kernel_times(profs)
+    sizes = g.transmission_sizes()
+    n = len(profs)
+    bw = bw_mbps * 1e6 * GOODPUT
+    totals = []
+    for p in range(n + 1):
+        head = sum(dev_times[:p])
+        if p == n:
+            totals.append(head)
+            continue
+        tail_kernels = gpu_times[p:]
+        tail = sched.mean_execute(tail_kernels, level)
+        up = sizes[p] * 8 / bw
+        totals.append(head + up + tail)
+    best = int(np.argmin(totals))
+    return best, totals, n
+
+for name in EVALUATED_MODELS:
+    g = build_model(name)
+    profs = profile_graph(g)
+    dev = DeviceModel()
+    local = sum(dev.mean_time(p) for p in profs)
+    row = [f"{name:11s} local={local*1e3:6.0f}ms"]
+    for bw in (1, 2, 4, 8, 16, 32, 64):
+        best, totals, n = landscape(name, bw)
+        tag = "L" if best == n else ("F" if best == 0 else "")
+        row.append(f"{bw:>2d}M:p={best:<3d}{tag}{totals[best]*1e3:6.0f}ms")
+    print(" ".join(row))
+    for lvl in ("100%(l)", "100%(h)"):
+        best, totals, n = landscape(name, 8, lvl)
+        tag = "L" if best == n else ("F" if best == 0 else "")
+        base_best, base_totals, _ = landscape(name, 8)
+        print(f"    @8Mbps {lvl:8s}: best p={best}{tag} {totals[best]*1e3:.0f}ms | stale-baseline p={base_best}: {totals[base_best]*1e3:.0f}ms")

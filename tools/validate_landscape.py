@@ -1,0 +1,49 @@
+"""End-to-end validation: true vs predicted decision landscapes."""
+import numpy as np
+
+from repro.core import LoADPartEngine
+from repro.hardware import DeviceModel, GpuModel, GpuScheduler, LOAD_LEVELS
+from repro.models import build_model, EVALUATED_MODELS
+from repro.profiling import OfflineProfiler
+from repro.profiling.features import profile_graph
+
+MB = 1e6
+dev = DeviceModel(); gpu = GpuModel(); sched = GpuScheduler()
+report = OfflineProfiler(device_model=dev, gpu_model=gpu, samples_per_category=250, seed=7).run()
+print(report.format_table3())
+print()
+
+for name in EVALUATED_MODELS:
+    g = build_model(name); profs = profile_graph(g)
+    eng = LoADPartEngine(g, report.user_predictor, report.edge_predictor)
+    tdev = [dev.mean_time(p) for p in profs]
+    kts = gpu.kernel_times(profs)
+    sizes = g.transmission_sizes()
+    n = len(profs)
+
+    def true_lat(p, bw, lvl="0%"):
+        head = sum(tdev[:p])
+        if p == n: return head
+        return head + sizes[p]*8/bw + sched.mean_execute(kts[p:], LOAD_LEVELS[lvl]) + 0.002
+
+    line = [f"{name:11s} true_local={sum(tdev)*1e3:6.0f} pred_local={eng.decide(8*MB).candidates[n]*1e3:6.0f}"]
+    for bw in (1,2,4,8,16,32,64):
+        dp = eng.decide(bw*MB).point
+        tb = min(range(n+1), key=lambda q: true_lat(q, bw*MB))
+        regret = true_lat(dp, bw*MB)/true_lat(tb, bw*MB)-1
+        tag = "L" if dp==n else ("F" if dp==0 else "")
+        line.append(f"{bw}M:{dp}{tag}(opt {tb},r{regret*100:.0f}%)")
+    print(" ".join(line))
+    # load behaviour at 8 Mbps
+    p_idle = eng.decide(8*MB).point
+    for lvl in ("100%(l)", "100%(h)"):
+        # k = observed / model-predicted, as the paper's monitor computes it.
+        ref = p_idle if p_idle < n else 0
+        actual = sched.mean_execute(kts[ref:], LOAD_LEVELS[lvl])
+        predicted = max(eng.predicted_server_time(ref), 1e-9)
+        k = actual / predicted
+        p_load = eng.decide(8*MB, k=max(k,1.0)).point
+        t_load = true_lat(p_load, 8*MB, lvl)
+        t_stale = true_lat(p_idle, 8*MB, lvl)
+        impr = (t_stale-t_load)/t_stale*100
+        print(f"    {lvl:8s} k={k:6.1f} p:{p_idle}->{p_load} LoAD={t_load*1e3:6.0f}ms stale={t_stale*1e3:6.0f}ms improvement={impr:5.1f}%")
