@@ -57,13 +57,14 @@ from repro.hardware import (
 )
 from repro.models import EVALUATED_MODELS, build_model, get_model, list_models
 from repro.network import BandwidthEstimator, Channel, ConstantTrace, StepTrace, TensorCodec, fig6_trace
-from repro.nn import GraphExecutor, SegmentExecutor
+from repro.nn import BACKENDS, GraphExecutor, GraphPlan, SegmentExecutor, SegmentPlan
 from repro.profiling import LatencyPredictor, OfflineProfiler
 from repro.runtime import MultiClientSystem, OffloadingSystem, SystemConfig
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "BACKENDS",
     "BandwidthEstimator",
     "Channel",
     "ComputationGraph",
@@ -79,6 +80,7 @@ __all__ = [
     "GraphBuilder",
     "GraphExecutor",
     "GraphPartitioner",
+    "GraphPlan",
     "LOAD_LEVELS",
     "LatencyPredictor",
     "LoADPartEngine",
@@ -93,6 +95,7 @@ __all__ = [
     "PartitionDecision",
     "PartitionedGraph",
     "SegmentExecutor",
+    "SegmentPlan",
     "MultiClientSystem",
     "StepTrace",
     "SystemConfig",

@@ -3,11 +3,26 @@
 Replaces the MindSpore runtime for *functional* purposes: executing a graph
 or a partitioned segment on real arrays, so tests can assert that
 partitioned execution is numerically identical to monolithic execution.
-Timing never comes from this executor — latency is the job of
-:mod:`repro.hardware`.
+Two backends share the same kernels: ``"naive"`` (per-call dict dispatch)
+and ``"planned"`` (compiled plans with preallocated workspaces, see
+:mod:`repro.nn.plan`).  Simulated latency still comes from
+:mod:`repro.hardware`; the planned backend exists so *functional* execution
+keeps up with the emulation loop.
 """
 
-from repro.nn.executor import GraphExecutor, SegmentExecutor, init_parameters
+from repro.nn.executor import BACKENDS, GraphExecutor, SegmentExecutor, init_parameters
 from repro.nn.kernels import KERNELS
+from repro.nn.plan import CompiledPlan, GraphPlan, PlanStats, SegmentPlan, WorkspaceArena
 
-__all__ = ["GraphExecutor", "KERNELS", "SegmentExecutor", "init_parameters"]
+__all__ = [
+    "BACKENDS",
+    "CompiledPlan",
+    "GraphExecutor",
+    "GraphPlan",
+    "KERNELS",
+    "PlanStats",
+    "SegmentExecutor",
+    "SegmentPlan",
+    "WorkspaceArena",
+    "init_parameters",
+]

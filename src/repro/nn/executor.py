@@ -18,6 +18,16 @@ from repro.graph.node import CNode, Parameter
 from repro.graph.partitioner import Segment
 from repro.nn.kernels import KERNELS
 
+#: Available execution backends: "naive" walks the env dict per call,
+#: "planned" runs a compiled plan (see :mod:`repro.nn.plan`).
+BACKENDS = ("naive", "planned")
+
+
+def _check_backend(backend: str) -> str:
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
 
 def _param_rng(seed: int, name: str) -> np.random.Generator:
     return np.random.default_rng((seed & 0xFFFFFFFF) ^ zlib.crc32(name.encode()))
@@ -63,17 +73,28 @@ class GraphExecutor:
     """Executes a whole computation graph on NumPy arrays."""
 
     def __init__(self, graph: ComputationGraph, seed: int = 0,
-                 params: Dict[str, np.ndarray] | None = None) -> None:
+                 params: Dict[str, np.ndarray] | None = None,
+                 backend: str = "naive") -> None:
         graph.validate()
         self._graph = graph
         self._order = graph.topological_order()
         self._params = params if params is not None else init_parameters(
             (graph.node(n) for n in self._order), seed
         )
+        self._backend = _check_backend(backend)
+        self._plan = None
+        if backend == "planned":
+            from repro.nn.plan import GraphPlan  # deferred: plan imports this module
+
+            self._plan = GraphPlan(graph, seed=seed, params=self._params)
 
     @property
     def params(self) -> Dict[str, np.ndarray]:
         return self._params
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     def run(self, x: np.ndarray, keep: Iterable[str] = ()) -> np.ndarray:
         """Run the graph on input ``x``; returns the output tensor.
@@ -81,6 +102,10 @@ class GraphExecutor:
         ``keep`` optionally names intermediate nodes whose values are stashed
         on :attr:`last_intermediates` for inspection.
         """
+        if self._plan is not None:
+            out = self._plan.run(x, keep=keep)
+            self.last_intermediates = dict(self._plan.last_intermediates)
+            return out
         expected = self._graph.input_spec.shape
         if tuple(x.shape) != expected:
             raise ValueError(f"input shape {x.shape} != expected {expected}")
@@ -103,11 +128,28 @@ class SegmentExecutor:
     """
 
     def __init__(self, segment: Segment, seed: int = 0,
-                 params: Dict[str, np.ndarray] | None = None) -> None:
+                 params: Dict[str, np.ndarray] | None = None,
+                 backend: str = "naive") -> None:
         self._segment = segment
         self._params = params if params is not None else init_parameters(segment.nodes, seed)
+        self._backend = _check_backend(backend)
+        self._plan = None
+        if backend == "planned":
+            from repro.nn.plan import SegmentPlan  # deferred: plan imports this module
+
+            self._plan = SegmentPlan(segment, seed=seed, params=self._params)
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        return self._params
+
+    @property
+    def backend(self) -> str:
+        return self._backend
 
     def run(self, boundary: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        if self._plan is not None:
+            return self._plan.run(boundary)
         missing = set(self._segment.boundary_inputs) - set(boundary)
         if missing:
             raise ValueError(f"segment {self._segment.name!r} missing boundary tensors {sorted(missing)}")

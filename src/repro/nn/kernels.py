@@ -54,10 +54,18 @@ def dwconv2d(inputs: Sequence[np.ndarray], params: Sequence[np.ndarray], attrs: 
     (x,) = inputs
     (weight,) = params
     mult = int(attrs.get("channel_multiplier", 1))
-    if mult != 1:
-        raise NotImplementedError("dwconv2d kernel supports channel_multiplier=1 only")
     win = _windows(x, _pair(attrs["kernel"]), _pair(attrs.get("stride", 1)), _pair(attrs.get("padding", 0)))
-    out = np.einsum("nchwij,cij->nchw", win, weight[:, 0], optimize=True)
+    if mult == 1:
+        out = np.einsum("nchwij,cij->nchw", win, weight[:, 0], optimize=True)
+    else:
+        # Output channel c*mult + m applies filter m of input channel c
+        # (TensorFlow depthwise convention; matches the registry's
+        # (c_in*mult, 1, kh, kw) parameter layout).
+        n, c, ho, wo = win.shape[:4]
+        kh, kw = weight.shape[2], weight.shape[3]
+        wm = weight.reshape(c, mult, kh, kw)
+        out = np.einsum("nchwij,cmij->ncmhw", win, wm, optimize=True)
+        out = out.reshape(n, c * mult, ho, wo)
     return out.astype(x.dtype, copy=False)
 
 
@@ -138,6 +146,31 @@ def softmax(inputs: Sequence[np.ndarray], params: Sequence[np.ndarray], attrs: D
 
 
 def lrn(inputs: Sequence[np.ndarray], params: Sequence[np.ndarray], attrs: Dict[str, Any]) -> np.ndarray:
+    """Local response normalisation via a cumulative sum over channels.
+
+    The windowed sum for every channel is a difference of two prefix sums,
+    so one ``cumsum`` replaces the per-channel Python loop.  Prefix sums are
+    taken in float64: the subtraction cancels large partial sums, which in
+    float32 would cost several digits of the window sum.
+    """
+    (x,) = inputs
+    size = int(attrs.get("size", 5))
+    alpha = float(attrs.get("alpha", 1e-4))
+    beta = float(attrs.get("beta", 0.75))
+    k = float(attrs.get("k", 2.0))
+    half = size // 2
+    channels = x.shape[1]
+    squares = np.square(x, dtype=np.float64)
+    prefix = np.cumsum(squares, axis=1)
+    prefix = np.concatenate([np.zeros_like(prefix[:, :1]), prefix], axis=1)
+    hi = np.minimum(np.arange(channels) + half + 1, channels)
+    lo = np.maximum(np.arange(channels) - half, 0)
+    denom = prefix[:, hi] - prefix[:, lo]
+    return (x / np.power(k + (alpha / size) * denom, beta)).astype(x.dtype, copy=False)
+
+
+def lrn_reference(inputs: Sequence[np.ndarray], params: Sequence[np.ndarray], attrs: Dict[str, Any]) -> np.ndarray:
+    """Literal per-channel-loop LRN, kept as the equivalence-test oracle."""
     (x,) = inputs
     size = int(attrs.get("size", 5))
     alpha = float(attrs.get("alpha", 1e-4))

@@ -9,17 +9,18 @@ uploads, and the periodic load query that fetches the server's ``k``.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Dict, Protocol, Tuple
 
 import numpy as np
 
 from repro.core.cache import PartitionCache
 from repro.core.engine import LoADPartEngine
 from repro.core.partition_algorithm import PartitionDecision
-from repro.graph.partitioner import GraphPartitioner
+from repro.graph.partitioner import GraphPartitioner, PartitionedGraph
 from repro.hardware.device_model import DeviceModel
 from repro.network.channel import Channel
 from repro.network.estimator import BandwidthEstimator
+from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
 from repro.runtime.messages import InferenceRecord
 from repro.runtime.server import PARTITION_OVERHEAD_S, EdgeServer
 
@@ -42,6 +43,9 @@ class UserDevice:
         device_model: DeviceModel | None = None,
         estimator: BandwidthEstimator | None = None,
         seed: int = 1,
+        backend: str = "naive",
+        functional: bool = False,
+        model_seed: int = 0,
     ) -> None:
         self.engine = engine
         self.server = server
@@ -53,6 +57,18 @@ class UserDevice:
         self._rng = np.random.default_rng(seed)
         self._latest_k = 1.0
         self._request_seq = 0
+        self.backend = _check_backend(backend)
+        self.functional = functional
+        self._model_seed = model_seed
+        self._model_params: Dict[str, np.ndarray] | None = None
+        self._head_executors: Dict[int, SegmentExecutor] = {}
+        # Functional inputs come from a dedicated stream: ``self._rng`` keeps
+        # driving the simulated timing draws, so InferenceRecords are
+        # identical whether functional execution is on or off (and across
+        # executor backends).
+        self._data_rng = np.random.default_rng(seed + 0x5EED)
+        #: Output tensor of the most recent functional inference.
+        self.last_output: np.ndarray | None = None
 
     # -- runtime profiler activities (the paper's profiler thread) ------------
 
@@ -78,6 +94,45 @@ class UserDevice:
         self.send_probe(now_s)
         self.query_load(now_s)
 
+    # -- functional execution --------------------------------------------------
+
+    @property
+    def model_params(self) -> Dict[str, np.ndarray]:
+        """Parameters materialised from the preloaded model file (§III-A)."""
+        if self._model_params is None:
+            graph = self.engine.graph
+            self._model_params = init_parameters(
+                (graph.node(n) for n in graph.topological_order()), self._model_seed
+            )
+        return self._model_params
+
+    def _run_head(self, partitioned: PartitionedGraph) -> Tuple[
+            Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+        """Draw an input and execute the head; returns (outputs, transfers).
+
+        ``outputs`` are the head's leaving tensors by producer name;
+        ``transfers`` are the tensors that cross the cut (the raw input is
+        forwarded, not recomputed, when it crosses).
+        """
+        graph = self.engine.graph
+        x = self._data_rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+        outputs: Dict[str, np.ndarray] = {}
+        if not partitioned.head.is_empty:
+            point = partitioned.partition_point
+            executor = self._head_executors.get(point)
+            if executor is None:
+                executor = SegmentExecutor(
+                    partitioned.head, params=self.model_params, backend=self.backend
+                )
+                self._head_executors[point] = executor
+            boundary = {name: x for name in partitioned.head.boundary_inputs}
+            outputs = executor.run(boundary)
+        transfers = {
+            name: (x if name == graph.input_name else outputs[name])
+            for name in partitioned.transfer_specs
+        }
+        return outputs, transfers
+
     # -- inference path ------------------------------------------------------
 
     def request_inference(self, now_s: float) -> InferenceRecord:
@@ -94,12 +149,19 @@ class UserDevice:
         partitioned = self.cache.get(point)
         overhead = 0.0 if device_cache_hit else PARTITION_OVERHEAD_S
 
+        head_outputs: dict | None = None
+        transfers: dict | None = None
+        if self.functional:
+            head_outputs, transfers = self._run_head(partitioned)
+
         device_s = float(
             self.device_model.sample_graph_time(self.engine.head_profiles(point), self._rng)
         )
 
         if point == n:
             # Local inference: no network, no server involvement.
+            if head_outputs is not None:
+                self.last_output = head_outputs[self.engine.graph.output_name]
             return InferenceRecord(
                 request_id=request_id,
                 start_s=now_s,
@@ -123,8 +185,15 @@ class UserDevice:
         self.estimator.add_passive(now_s, upload_bytes, upload_s)
 
         arrive_s = now_s + device_s + upload_s
-        reply = self.server.handle_offload(arrive_s, request_id, point)
+        reply = self.server.handle_offload(arrive_s, request_id, point, tensors=transfers)
         download_s = self.channel.download_time(reply.result_bytes, arrive_s, self._rng)
+
+        if reply.tensors is not None:
+            out_name = self.engine.graph.output_name
+            self.last_output = (
+                reply.tensors[out_name] if out_name in reply.tensors
+                else head_outputs[out_name]  # output produced before the cut
+            )
 
         total = (
             device_s

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Dict
 
 
 @dataclass(frozen=True)
@@ -15,6 +16,10 @@ class OffloadReply:
     result_bytes: int          # size of the result tensor to download
     cache_hit: bool            # server-side partition cache
     partition_overhead_s: float
+    #: Tail-segment output tensors (producer name -> array) when the system
+    #: runs in functional mode; None in pure-simulation runs.  Excluded from
+    #: equality/repr so timing-level semantics are unchanged.
+    tensors: Dict[str, Any] | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

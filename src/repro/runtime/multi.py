@@ -99,8 +99,9 @@ class SharedEdgeServer(EdgeServer):
         super().__init__(engine, load_schedule=EndogenousLoad(tracker), **kwargs)
         self.tracker = tracker
 
-    def handle_offload(self, now_s: float, request_id: int, point: int):
-        reply = super().handle_offload(now_s, request_id, point)
+    def handle_offload(self, now_s: float, request_id: int, point: int,
+                       tensors=None):
+        reply = super().handle_offload(now_s, request_id, point, tensors=tensors)
         # The executed tail occupies the shared GPU; later requests see it.
         self.tracker.record(now_s, reply.server_exec_s)
         return reply
@@ -156,6 +157,9 @@ class MultiClientSystem:
             watchdog_threshold=self.config.watchdog_threshold,
             watchdog_period_s=self.config.watchdog_period_s,
             seed=self.config.seed + 100,
+            backend=self.config.backend,
+            functional=self.config.functional,
+            model_seed=self.config.seed,
         )
         trace = bandwidth_trace or ConstantTrace(8e6)
         self.channel = Channel(trace, NetworkParams())
@@ -170,6 +174,9 @@ class MultiClientSystem:
                     self.channel,
                     policy=client_policy,
                     seed=self.config.seed + 200 + i,
+                    backend=self.config.backend,
+                    functional=self.config.functional,
+                    model_seed=self.config.seed,
                 )
             )
         self.loop = EventLoop()

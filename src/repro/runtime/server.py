@@ -8,6 +8,8 @@ partition points skip graph surgery (§III-A, §IV).
 
 from __future__ import annotations
 
+from typing import Dict
+
 import numpy as np
 
 from repro.core.cache import PartitionCache
@@ -17,6 +19,7 @@ from repro.graph.partitioner import GraphPartitioner
 from repro.hardware.background import IDLE, LoadSchedule
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.gpu_scheduler import GpuScheduler
+from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
 from repro.runtime.messages import LoadReply, OffloadReply
 
 #: Cost of partitioning the graph + preparing the runtime on a cache miss.
@@ -38,6 +41,9 @@ class EdgeServer:
         watchdog_threshold: float = 0.90,
         watchdog_period_s: float = 10.0,
         seed: int = 0,
+        backend: str = "naive",
+        functional: bool = False,
+        model_seed: int = 0,
     ) -> None:
         self.engine = engine
         self.load_schedule = load_schedule or LoadSchedule([(0.0, IDLE)])
@@ -48,14 +54,57 @@ class EdgeServer:
         self.cache = PartitionCache(GraphPartitioner(engine.graph))
         self._rng = np.random.default_rng(seed)
         self.offload_count = 0
+        self.backend = _check_backend(backend)
+        self.functional = functional
+        self._model_seed = model_seed
+        self._model_params: Dict[str, np.ndarray] | None = None
+        self._tail_executors: Dict[int, SegmentExecutor] = {}
+
+    # -- functional execution --------------------------------------------------
+
+    @property
+    def model_params(self) -> Dict[str, np.ndarray]:
+        """Parameters materialised from the preloaded model file (§III-A)."""
+        if self._model_params is None:
+            graph = self.engine.graph
+            self._model_params = init_parameters(
+                (graph.node(n) for n in graph.topological_order()), self._model_seed
+            )
+        return self._model_params
+
+    def _execute_tail(self, point: int, tensors: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        """Run the tail segment on the uploaded boundary tensors."""
+        partitioned = self.cache.get(point)
+        if partitioned.tail.is_empty:
+            return {}
+        executor = self._tail_executors.get(point)
+        if executor is None:
+            executor = SegmentExecutor(
+                partitioned.tail, params=self.model_params, backend=self.backend
+            )
+            self._tail_executors[point] = executor
+        boundary = {name: tensors[name] for name in partitioned.tail.boundary_inputs}
+        return executor.run(boundary)
 
     # -- request path ---------------------------------------------------------
 
-    def handle_offload(self, now_s: float, request_id: int, point: int) -> OffloadReply:
-        """Execute the tail of partition ``point`` arriving at ``now_s``."""
+    def handle_offload(self, now_s: float, request_id: int, point: int,
+                       tensors: Dict[str, np.ndarray] | None = None) -> OffloadReply:
+        """Execute the tail of partition ``point`` arriving at ``now_s``.
+
+        When the server runs in functional mode and the device uploaded real
+        boundary ``tensors``, the tail segment is actually executed and its
+        outputs travel back on the reply; simulated timing is unaffected.
+        """
         cache_hit = point in self.cache
         partitioned = self.cache.get(point)
         overhead = 0.0 if cache_hit else PARTITION_OVERHEAD_S
+
+        result_tensors = (
+            self._execute_tail(point, tensors)
+            if self.functional and tensors is not None
+            else None
+        )
 
         profiles = self.engine.tail_profiles(point)
         kernel_times = self.gpu_model.sample_kernel_times(profiles, self._rng)
@@ -74,6 +123,7 @@ class EdgeServer:
             else 0,
             cache_hit=cache_hit,
             partition_overhead_s=overhead,
+            tensors=result_tensors,
         )
 
     # -- profiler path -----------------------------------------------------------

@@ -19,6 +19,7 @@ from repro.core.engine import LoADPartEngine
 from repro.hardware.background import IDLE, LoadSchedule
 from repro.network.channel import Channel, NetworkParams
 from repro.network.traces import BandwidthTrace, ConstantTrace
+from repro.nn.executor import BACKENDS
 from repro.profiling.predictor import LatencyPredictor
 from repro.runtime.client import UserDevice
 from repro.runtime.events import EventLoop
@@ -39,10 +40,14 @@ class SystemConfig:
     think_time_s: float = 0.015      # gap between consecutive requests
     monitor_window_s: float = 5.0
     seed: int = 0
+    backend: str = "naive"           # executor backend for functional runs
+    functional: bool = False         # actually execute segments on arrays
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
 
 
 class Timeline:
@@ -70,9 +75,13 @@ class Timeline:
         return np.array([r.start_s for r in self.records])
 
     def mean_latency(self) -> float:
+        if not self.records:
+            return float("nan")
         return float(self.latencies.mean())
 
     def percentile_latency(self, q: float) -> float:
+        if not self.records:
+            return float("nan")
         return float(np.percentile(self.latencies, q))
 
     def between(self, start_s: float, end_s: float) -> "Timeline":
@@ -101,6 +110,9 @@ class OffloadingSystem:
             watchdog_threshold=self.config.watchdog_threshold,
             watchdog_period_s=self.config.watchdog_period_s,
             seed=self.config.seed + 100,
+            backend=self.config.backend,
+            functional=self.config.functional,
+            model_seed=self.config.seed,
         )
         policy = self._make_policy(self.config.policy, engine)
         self.device = UserDevice(
@@ -109,6 +121,9 @@ class OffloadingSystem:
             self.channel,
             policy=policy,
             seed=self.config.seed + 200,
+            backend=self.config.backend,
+            functional=self.config.functional,
+            model_seed=self.config.seed,
         )
         self.loop = EventLoop()
 

@@ -73,11 +73,13 @@ class TestDWConv:
             want_c = naive_conv2d(x[:, c:c + 1], w[c:c + 1], (1, 1), (1, 1))
             np.testing.assert_allclose(got[:, c:c + 1], want_c, rtol=1e-4, atol=1e-5)
 
-    def test_multiplier_unsupported(self, rng):
+    def test_multiplier_expands_channels(self, rng):
+        # channel_multiplier > 1 is supported; deep checks live in
+        # TestDwconvChannelMultiplier below.
         x = rng.standard_normal((1, 4, 8, 8)).astype(np.float32)
         w = rng.standard_normal((8, 1, 3, 3)).astype(np.float32)
-        with pytest.raises(NotImplementedError):
-            dwconv2d([x], [w], {"kernel": 3, "channel_multiplier": 2})
+        out = dwconv2d([x], [w], {"kernel": 3, "channel_multiplier": 2})
+        assert out.shape == (1, 8, 6, 6)
 
 
 class TestPooling:
@@ -183,3 +185,70 @@ class TestStructural:
     def test_flatten(self, rng):
         x = rng.standard_normal((2, 3, 4, 5)).astype(np.float32)
         assert flatten([x], [], {}).shape == (2, 60)
+
+
+class TestVectorizedLrn:
+    """The cumsum LRN vs the literal per-channel loop it replaced."""
+
+    @pytest.mark.parametrize("size,channels", [(5, 96), (5, 3), (3, 8), (7, 16)])
+    def test_matches_loop_reference(self, rng, size, channels):
+        from repro.nn.kernels import lrn_reference
+
+        x = (rng.standard_normal((2, channels, 5, 5)) * 4).astype(np.float32)
+        attrs = {"size": size, "alpha": 1e-4, "beta": 0.75, "k": 2.0}
+        got = lrn([x], [], attrs)
+        want = lrn_reference([x], [], attrs)
+        assert got.dtype == want.dtype == np.float32
+        np.testing.assert_allclose(got, want, rtol=1e-6, atol=1e-7)
+
+    def test_default_attrs(self, rng):
+        from repro.nn.kernels import lrn_reference
+
+        x = rng.standard_normal((1, 32, 4, 4)).astype(np.float32)
+        np.testing.assert_allclose(lrn([x], [], {}), lrn_reference([x], [], {}),
+                                   rtol=1e-6, atol=1e-7)
+
+
+def naive_dwconv_mult(x, w, mult, stride, padding):
+    """Loop reference for depthwise conv with a channel multiplier."""
+    n, c, h, wd = x.shape
+    kh, kw = w.shape[2], w.shape[3]
+    sh, sw = stride
+    ph, pw = padding
+    xp = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    ho = (h + 2 * ph - kh) // sh + 1
+    wo = (wd + 2 * pw - kw) // sw + 1
+    out = np.zeros((n, c * mult, ho, wo), dtype=x.dtype)
+    for ci in range(c):
+        for m in range(mult):
+            filt = w[ci * mult + m, 0]
+            for i in range(ho):
+                for j in range(wo):
+                    patch = xp[:, ci, i * sh:i * sh + kh, j * sw:j * sw + kw]
+                    out[:, ci * mult + m, i, j] = (patch * filt).sum(axis=(-2, -1))
+    return out
+
+
+class TestDwconvChannelMultiplier:
+    def test_output_shape(self, rng):
+        x = rng.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        w = rng.standard_normal((8, 1, 3, 3)).astype(np.float32)
+        out = dwconv2d([x], [w], {"kernel": 3, "padding": 1, "channel_multiplier": 2})
+        assert out.shape == (1, 8, 8, 8)
+
+    @pytest.mark.parametrize("mult,stride,padding", [(2, 1, 1), (3, 2, 1), (2, 1, 0)])
+    def test_matches_loop_reference(self, rng, mult, stride, padding):
+        x = rng.standard_normal((2, 3, 9, 9)).astype(np.float32)
+        w = rng.standard_normal((3 * mult, 1, 3, 3)).astype(np.float32)
+        attrs = {"kernel": 3, "stride": stride, "padding": padding,
+                 "channel_multiplier": mult}
+        got = dwconv2d([x], [w], attrs)
+        want = naive_dwconv_mult(x, w, mult, (stride, stride), (padding, padding))
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_mult_one_unchanged(self, rng):
+        x = rng.standard_normal((1, 5, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((5, 1, 3, 3)).astype(np.float32)
+        a = dwconv2d([x], [w], {"kernel": 3, "padding": 1})
+        b = dwconv2d([x], [w], {"kernel": 3, "padding": 1, "channel_multiplier": 1})
+        np.testing.assert_array_equal(a, b)

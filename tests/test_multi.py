@@ -122,3 +122,16 @@ class TestMultiClientSystem:
         per_client_last = [t.records[-1].start_s for t in result.timelines]
         # Every client kept issuing until near the horizon.
         assert min(per_client_last) > 0.5 * max(all_starts)
+
+
+class TestMultiFunctional:
+    def test_functional_fleet_matches_simulation_records(self, squeezenet_engine):
+        sim = MultiClientSystem(squeezenet_engine, 2,
+                                config=SystemConfig(seed=4)).run(0.2)
+        system = MultiClientSystem(
+            squeezenet_engine, 2,
+            config=SystemConfig(seed=4, functional=True, backend="planned"),
+        )
+        fn = system.run(0.2)
+        assert [t.records for t in sim.timelines] == [t.records for t in fn.timelines]
+        assert all(c.last_output is not None for c in system.clients)

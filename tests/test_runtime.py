@@ -260,3 +260,55 @@ class TestSystem:
         seen = []
         system.run(1.0, on_record=seen.append)
         assert len(seen) > 0
+
+
+class TestEmptyTimeline:
+    def test_mean_latency_nan(self):
+        from repro.runtime.system import Timeline
+
+        t = Timeline([])
+        assert np.isnan(t.mean_latency())
+
+    def test_percentile_latency_nan(self):
+        from repro.runtime.system import Timeline
+
+        t = Timeline([])
+        assert np.isnan(t.percentile_latency(95))
+
+    def test_between_can_return_empty(self, system):
+        timeline = system.run(1.0, max_requests=2)
+        empty = timeline.between(1e9, 2e9)
+        assert len(empty) == 0
+        assert np.isnan(empty.mean_latency())
+
+
+class TestFunctionalMode:
+    """Functional execution changes what is computed, never what is recorded."""
+
+    def test_invalid_backend_in_config(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            SystemConfig(backend="jit")
+
+    def _run(self, engine, **cfg_kwargs):
+        config = SystemConfig(seed=11, **cfg_kwargs)
+        sys_ = OffloadingSystem(engine, config=config)
+        timeline = sys_.run(2.0, max_requests=3)
+        return timeline, sys_
+
+    def test_records_identical_and_outputs_bit_equal(self, squeezenet_engine):
+        sim, _ = self._run(squeezenet_engine)
+        t_naive, s_naive = self._run(squeezenet_engine, functional=True,
+                                     backend="naive")
+        t_plan, s_plan = self._run(squeezenet_engine, functional=True,
+                                   backend="planned")
+        # Same InferenceRecord stream: functional mode and backend choice
+        # must not perturb partition decisions or simulated timing.
+        assert sim.records == t_naive.records == t_plan.records
+        out_naive, out_plan = s_naive.device.last_output, s_plan.device.last_output
+        assert out_naive is not None and out_plan is not None
+        assert out_naive.shape == squeezenet_engine.graph.output_spec.shape
+        assert np.array_equal(out_naive, out_plan)
+
+    def test_simulation_only_has_no_tensors(self, squeezenet_engine):
+        _, sys_ = self._run(squeezenet_engine)
+        assert sys_.device.last_output is None

@@ -1,0 +1,85 @@
+"""Compare two ``BENCH_executor.json`` reports and gate on regressions.
+
+Intended as the perf check between a baseline run (e.g. from the main
+branch) and a candidate run::
+
+    python tools/bench_compare.py baseline.json candidate.json
+
+Exits non-zero when the candidate's planned backend regresses by more than
+the threshold (default 15%) on any model present in both reports.  Speedups
+and naive-side drift are reported but never fail the check — the planned
+backend is the optimised artefact this gate protects.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_THRESHOLD = 0.15
+
+
+def load(path: pathlib.Path) -> dict:
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except OSError as exc:
+        raise SystemExit(f"cannot read report: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"{path}: not valid JSON ({exc})")
+    if "results" not in report:
+        raise SystemExit(f"{path}: not a BENCH_executor.json report (no 'results')")
+    return report
+
+
+def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
+    """Returns a list of human-readable regression messages (empty = pass)."""
+    regressions: list[str] = []
+    base_results = baseline["results"]
+    cand_results = candidate["results"]
+    common = sorted(set(base_results) & set(cand_results))
+    if not common:
+        raise SystemExit("reports share no models; nothing to compare")
+    for name in common:
+        base_ms = base_results[name]["planned_ms"]
+        cand_ms = cand_results[name]["planned_ms"]
+        ratio = cand_ms / base_ms - 1.0
+        marker = ""
+        if ratio > threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: planned {base_ms:.1f} -> {cand_ms:.1f} ms "
+                f"(+{ratio * 100:.1f}% > {threshold * 100:.0f}%)"
+            )
+        print(f"{name:12s} planned {base_ms:9.1f} -> {cand_ms:9.1f} ms "
+              f"({ratio * 100:+6.1f}%)  speedup "
+              f"{base_results[name]['speedup']:.2f}x -> "
+              f"{cand_results[name]['speedup']:.2f}x{marker}")
+    only = sorted(set(base_results) ^ set(cand_results))
+    if only:
+        print(f"(not compared, present in one report only: {', '.join(only)})")
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path)
+    parser.add_argument("candidate", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed fractional slowdown of planned_ms (default 0.15)")
+    args = parser.parse_args(argv)
+
+    regressions = compare(load(args.baseline), load(args.candidate), args.threshold)
+    if regressions:
+        print("\nplanned-backend regressions over threshold:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno planned-backend regressions over threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
