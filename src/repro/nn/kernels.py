@@ -54,10 +54,27 @@ def dwconv2d(inputs: Sequence[np.ndarray], params: Sequence[np.ndarray], attrs: 
     (x,) = inputs
     (weight,) = params
     mult = int(attrs.get("channel_multiplier", 1))
-    win = _windows(x, _pair(attrs["kernel"]), _pair(attrs.get("stride", 1)), _pair(attrs.get("padding", 0)))
+    kh, kw = _pair(attrs["kernel"])
+    sh, sw = _pair(attrs.get("stride", 1))
     if mult == 1:
-        out = np.einsum("nchwij,cij->nchw", win, weight[:, 0], optimize=True)
+        # Multiply-accumulate over kh*kw shifted slices (i-major, j-minor).
+        # The planned backend compiles the same lowering in the same
+        # accumulation order, so both backends agree bit-for-bit.
+        xp = _pad_nchw(x, _pair(attrs.get("padding", 0)))
+        c = x.shape[1]
+        ho = (xp.shape[2] - kh) // sh + 1
+        wo = (xp.shape[3] - kw) // sw + 1
+        out = None
+        for i in range(kh):
+            for j in range(kw):
+                view = xp[:, :, i:i + sh * (ho - 1) + 1:sh, j:j + sw * (wo - 1) + 1:sw]
+                wk = np.ascontiguousarray(weight[:, 0, i, j]).reshape(1, c, 1, 1)
+                if out is None:
+                    out = view * wk
+                else:
+                    out += view * wk
     else:
+        win = _windows(x, (kh, kw), (sh, sw), _pair(attrs.get("padding", 0)))
         # Output channel c*mult + m applies filter m of input channel c
         # (TensorFlow depthwise convention; matches the registry's
         # (c_in*mult, 1, kh, kw) parameter layout).

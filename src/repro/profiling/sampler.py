@@ -81,20 +81,21 @@ class TimedSample:
 
 def measure_graph_wall_time(graph: ComputationGraph, backend: str = "naive",
                             repeats: int = 3, input_seed: int = 0,
-                            seed: int = 0) -> float:
+                            seed: int = 0, batch: int = 1) -> float:
     """Median wall-clock seconds of one real executor run of ``graph``.
 
     One warm-up run pays compile/allocation costs (for the planned backend,
     the compile-once half of its contract), then the median of ``repeats``
     timed runs is returned.  The backend only changes how fast the sample is
     measured — the profile geometry recorded next to it is untouched.
+    ``batch=n`` times an ``n``-sample stacked run (whole-batch seconds, not
+    per-sample).
     """
     from repro.nn.executor import GraphExecutor
 
-    executor = GraphExecutor(graph, seed=seed, backend=backend)
-    x = np.random.default_rng(input_seed).standard_normal(
-        graph.input_spec.shape
-    ).astype(np.float32)
+    executor = GraphExecutor(graph, seed=seed, backend=backend, batch=batch)
+    shape = (graph.input_spec.shape[0] * batch,) + graph.input_spec.shape[1:]
+    x = np.random.default_rng(input_seed).standard_normal(shape).astype(np.float32)
     executor.run(x)
     times = []
     for _ in range(max(repeats, 1)):
@@ -120,12 +121,12 @@ class ConfigSampler:
         return [self._sample_one(ops[i % len(ops)]) for i in range(count)]
 
     def sample_timed(self, category: str, count: int, backend: str = "naive",
-                     repeats: int = 3) -> List[TimedSample]:
+                     repeats: int = 3, batch: int = 1) -> List[TimedSample]:
         """Sampled configurations measured on a real executor backend.
 
         The drawn geometry is identical to :meth:`sample_profiles` with the
-        same seed state; the backend selector affects only the wall-clock
-        attached to each sample.
+        same seed state; the backend selector (and batch size) affect only
+        the wall-clock attached to each sample.
         """
         samples: List[TimedSample] = []
         for i in range(count):
@@ -133,7 +134,7 @@ class ConfigSampler:
             profile = self._sample_one(ops[i % len(ops)])
             assert self._last_graph is not None
             wall = measure_graph_wall_time(self._last_graph, backend=backend,
-                                           repeats=repeats)
+                                           repeats=repeats, batch=batch)
             samples.append(TimedSample(profile=profile, wall_s=wall))
         return samples
 

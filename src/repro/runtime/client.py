@@ -9,6 +9,7 @@ uploads, and the periodic load query that fetches the server's ``k``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Protocol, Tuple
 
 import numpy as np
@@ -21,7 +22,7 @@ from repro.hardware.device_model import DeviceModel
 from repro.network.channel import Channel
 from repro.network.estimator import BandwidthEstimator
 from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
-from repro.runtime.messages import InferenceRecord
+from repro.runtime.messages import InferenceRecord, OffloadReply
 from repro.runtime.server import PARTITION_OVERHEAD_S, EdgeServer
 
 
@@ -29,6 +30,30 @@ class DecisionPolicy(Protocol):
     """Pluggable decision strategies (LoADPart, Neurosurgeon, local, full)."""
 
     def decide(self, bandwidth_up: float, k: float = 1.0) -> PartitionDecision: ...
+
+
+@dataclass
+class PendingOffload:
+    """Device-side state of one offload whose server reply is outstanding.
+
+    Produced by :meth:`UserDevice.begin_inference` when the decision is to
+    offload; the batched fleet driver parks it in the server's batch queue
+    and finishes the record via :meth:`UserDevice.complete_inference` once
+    the batch flushes.
+    """
+
+    request_id: int
+    start_s: float
+    partition_point: int
+    estimated_bandwidth_bps: float
+    k_used: float
+    device_s: float
+    upload_s: float
+    overhead_s: float
+    device_cache_hit: bool
+    arrive_s: float                       # when the upload lands at the server
+    transfers: Dict[str, np.ndarray] | None
+    head_outputs: Dict[str, np.ndarray] | None
 
 
 class UserDevice:
@@ -135,8 +160,15 @@ class UserDevice:
 
     # -- inference path ------------------------------------------------------
 
-    def request_inference(self, now_s: float) -> InferenceRecord:
-        """Run one end-to-end inference starting at ``now_s``."""
+    def begin_inference(self, now_s: float) -> InferenceRecord | PendingOffload:
+        """Decide, run the head, and upload; stop short of the server call.
+
+        Local decisions complete immediately and return the finished
+        :class:`InferenceRecord`; offload decisions return a
+        :class:`PendingOffload` whose server reply the caller must obtain
+        (synchronously via ``handle_offload`` or through a batch queue) and
+        feed to :meth:`complete_inference`.
+        """
         self._request_seq += 1
         request_id = self._request_seq
         bandwidth = self.estimator.estimate()
@@ -184,26 +216,7 @@ class UserDevice:
         # Passive bandwidth measurement from the real transfer (§IV).
         self.estimator.add_passive(now_s, upload_bytes, upload_s)
 
-        arrive_s = now_s + device_s + upload_s
-        reply = self.server.handle_offload(arrive_s, request_id, point, tensors=transfers)
-        download_s = self.channel.download_time(reply.result_bytes, arrive_s, self._rng)
-
-        if reply.tensors is not None:
-            out_name = self.engine.graph.output_name
-            self.last_output = (
-                reply.tensors[out_name] if out_name in reply.tensors
-                else head_outputs[out_name]  # output produced before the cut
-            )
-
-        total = (
-            device_s
-            + upload_s
-            + reply.server_exec_s
-            + download_s
-            + overhead
-            + reply.partition_overhead_s
-        )
-        return InferenceRecord(
+        return PendingOffload(
             request_id=request_id,
             start_s=now_s,
             partition_point=point,
@@ -211,11 +224,68 @@ class UserDevice:
             k_used=k,
             device_s=device_s,
             upload_s=upload_s,
+            overhead_s=overhead,
+            device_cache_hit=device_cache_hit,
+            arrive_s=now_s + device_s + upload_s,
+            transfers=transfers,
+            head_outputs=head_outputs,
+        )
+
+    def complete_inference(self, pending: PendingOffload, reply: OffloadReply,
+                           download_at_s: float | None = None) -> InferenceRecord:
+        """Finish a pending offload from the server's reply.
+
+        ``download_at_s`` is when the result starts downloading — the upload
+        arrival time in the synchronous path, the batch completion time
+        under dynamic batching.
+        """
+        if download_at_s is None:
+            download_at_s = pending.arrive_s
+        download_s = self.channel.download_time(
+            reply.result_bytes, download_at_s, self._rng
+        )
+
+        if reply.tensors is not None:
+            out_name = self.engine.graph.output_name
+            self.last_output = (
+                reply.tensors[out_name] if out_name in reply.tensors
+                else pending.head_outputs[out_name]  # output produced before the cut
+            )
+
+        total = (
+            pending.device_s
+            + pending.upload_s
+            + reply.server_exec_s
+            + download_s
+            + pending.overhead_s
+            + reply.partition_overhead_s
+        )
+        return InferenceRecord(
+            request_id=pending.request_id,
+            start_s=pending.start_s,
+            partition_point=pending.partition_point,
+            estimated_bandwidth_bps=pending.estimated_bandwidth_bps,
+            k_used=pending.k_used,
+            device_s=pending.device_s,
+            upload_s=pending.upload_s,
             server_s=reply.server_exec_s,
             download_s=download_s,
-            overhead_s=overhead + reply.partition_overhead_s,
+            overhead_s=pending.overhead_s + reply.partition_overhead_s,
             total_s=total,
-            load_level=self.server.load_schedule.level_at(arrive_s).name,
-            device_cache_hit=device_cache_hit,
+            load_level=self.server.load_schedule.level_at(download_at_s).name,
+            device_cache_hit=pending.device_cache_hit,
             server_cache_hit=reply.cache_hit,
+            server_queue_s=reply.queue_s,
+            batch_size=reply.batch_size,
         )
+
+    def request_inference(self, now_s: float) -> InferenceRecord:
+        """Run one end-to-end inference starting at ``now_s``."""
+        pending = self.begin_inference(now_s)
+        if isinstance(pending, InferenceRecord):
+            return pending
+        reply = self.server.handle_offload(
+            pending.arrive_s, pending.request_id, pending.partition_point,
+            tensors=pending.transfers,
+        )
+        return self.complete_inference(pending, reply)

@@ -12,10 +12,13 @@ class OffloadReply:
 
     request_id: int
     partition_point: int
-    server_exec_s: float       # GPU time incl. contention
+    server_exec_s: float       # time at the server incl. contention (and,
+                               # under dynamic batching, queueing delay)
     result_bytes: int          # size of the result tensor to download
     cache_hit: bool            # server-side partition cache
     partition_overhead_s: float
+    queue_s: float = 0.0       # batching queue delay folded into server_exec_s
+    batch_size: int = 1        # requests co-executed in this batch
     #: Tail-segment output tensors (producer name -> array) when the system
     #: runs in functional mode; None in pure-simulation runs.  Excluded from
     #: equality/repr so timing-level semantics are unchanged.
@@ -48,6 +51,8 @@ class InferenceRecord:
     load_level: str
     device_cache_hit: bool
     server_cache_hit: bool
+    server_queue_s: float = 0.0   # batching queue delay (part of server_s)
+    batch_size: int = 1           # requests co-executed with this one
 
     @property
     def is_local(self) -> bool:

@@ -31,6 +31,7 @@ from repro.core.engine import LoADPartEngine
 from repro.hardware.background import LoadLevel
 from repro.network.channel import Channel, NetworkParams
 from repro.network.traces import BandwidthTrace, ConstantTrace
+from repro.runtime.batching import DynamicBatcher, PendingRequest
 from repro.runtime.client import UserDevice
 from repro.runtime.events import EventLoop
 from repro.runtime.messages import InferenceRecord
@@ -106,6 +107,14 @@ class SharedEdgeServer(EdgeServer):
         self.tracker.record(now_s, reply.server_exec_s)
         return reply
 
+    def handle_offload_batch(self, now_s, requests, point, batching):
+        replies = super().handle_offload_batch(now_s, requests, point, batching)
+        if replies:
+            # The GPU runs the batch once: busy time is the shared execution
+            # time (queueing delay is waiting, not occupancy).
+            self.tracker.record(now_s, replies[0].server_exec_s - replies[0].queue_s)
+        return replies
+
 
 @dataclass(frozen=True)
 class FleetResult:
@@ -114,14 +123,22 @@ class FleetResult:
     timelines: Tuple[Timeline, ...]
     policy: str
 
+    def _latencies(self) -> np.ndarray:
+        arrays = [t.latencies for t in self.timelines]
+        return np.concatenate(arrays) if arrays else np.array([])
+
     @property
     def mean_latency(self) -> float:
-        lat = np.concatenate([t.latencies for t in self.timelines])
+        lat = self._latencies()
+        if lat.size == 0:
+            return float("nan")
         return float(lat.mean())
 
     @property
     def p95_latency(self) -> float:
-        lat = np.concatenate([t.latencies for t in self.timelines])
+        lat = self._latencies()
+        if lat.size == 0:
+            return float("nan")
         return float(np.percentile(lat, 95))
 
     @property
@@ -183,6 +200,8 @@ class MultiClientSystem:
 
     def run(self, duration_s: float) -> FleetResult:
         """Simulate all clients issuing requests back-to-back."""
+        if self.config.batching is not None:
+            return self._run_batched(duration_s)
         loop = self.loop
         records: List[List[InferenceRecord]] = [[] for _ in self.clients]
 
@@ -210,6 +229,96 @@ class MultiClientSystem:
             record = self.clients[idx].request_inference(t)
             records[idx].append(record)
             next_at[idx] = t + record.total_s + self.config.think_time_s
+        return FleetResult(
+            timelines=tuple(Timeline(r) for r in records),
+            policy=self.policy,
+        )
+
+    def _run_batched(self, duration_s: float) -> FleetResult:
+        """Event-driven fleet run with dynamic batching at the server.
+
+        Requests split into an asynchronous begin (decide + head + upload)
+        and complete (reply + download) pair: the upload's arrival enqueues
+        the request at its partition point, and the queue flushes when the
+        batching window expires or ``max_batch`` requests have gathered.
+        All requests of a flush share one batched tail execution and finish
+        together; queueing delay lands in each record's ``server_s``, so a
+        client's next request is scheduled exactly as in the sequential
+        driver — ``start + total + think``.
+        """
+        cfg = self.config.batching
+        loop = self.loop
+        batcher = DynamicBatcher(cfg)
+        records: List[List[InferenceRecord]] = [[] for _ in self.clients]
+        in_flight = [0]
+
+        for i, client in enumerate(self.clients):
+            client.profiler_tick(0.0)
+            offset = (i + 1) * self.config.profiler_period_s / (len(self.clients) + 1)
+            loop.schedule_every(
+                self.config.profiler_period_s,
+                lambda c=client: c.profiler_tick(loop.now),
+                start_s=offset,
+            )
+        loop.schedule_every(self.config.watchdog_period_s,
+                            lambda: self.server.watchdog_tick(loop.now))
+
+        def finish(idx: int, record: InferenceRecord) -> None:
+            records[idx].append(record)
+            next_t = record.start_s + record.total_s + self.config.think_time_s
+            if next_t < duration_s:
+                loop.schedule_at(max(next_t, loop.now), lambda: issue(idx))
+
+        def issue(idx: int) -> None:
+            pending = self.clients[idx].begin_inference(loop.now)
+            if isinstance(pending, InferenceRecord):
+                finish(idx, pending)
+                return
+            in_flight[0] += 1
+            loop.schedule_at(pending.arrive_s,
+                             lambda: arrive(idx, pending))
+
+        def arrive(idx: int, pending) -> None:
+            point = pending.partition_point
+            request = PendingRequest(
+                request_id=pending.request_id,
+                enqueue_s=loop.now,
+                tensors=pending.transfers,
+                context=(idx, pending),
+            )
+            flush_now, epoch = batcher.enqueue(point, request)
+            if flush_now:
+                flush(point)
+            elif batcher.queue_depth(point) == 1:
+                # This request opened the queue: arm its window timer.
+                loop.schedule_at(loop.now + cfg.window_s,
+                                 lambda: flush(point, epoch))
+
+        def flush(point: int, epoch: int | None = None) -> None:
+            batch = batcher.take(point, epoch)
+            if not batch:
+                return
+            replies = self.server.handle_offload_batch(loop.now, batch, point, cfg)
+            # All requests leave the GPU together, one batch execution later.
+            done_s = loop.now + replies[0].server_exec_s - replies[0].queue_s
+            for request, reply in zip(batch, replies):
+                idx, pending = request.context
+                record = self.clients[idx].complete_inference(
+                    pending, reply, download_at_s=done_s
+                )
+                in_flight[0] -= 1
+                finish(idx, record)
+
+        for i in range(len(self.clients)):
+            start = i * 0.003
+            if start < duration_s:
+                loop.schedule_at(start, lambda i=i: issue(i))
+
+        loop.run_until(duration_s)
+        # Drain in-flight requests (arrivals and window flushes may land
+        # shortly after the horizon); no request is ever dropped.
+        while in_flight[0] > 0:
+            loop.run_until(loop.now + max(cfg.window_s, 1e-3))
         return FleetResult(
             timelines=tuple(Timeline(r) for r in records),
             policy=self.policy,

@@ -8,7 +8,7 @@ partition points skip graph surgery (§III-A, §IV).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -19,7 +19,13 @@ from repro.graph.partitioner import GraphPartitioner
 from repro.hardware.background import IDLE, LoadSchedule
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.gpu_scheduler import GpuScheduler
-from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
+from repro.nn.executor import (
+    SegmentExecutor,
+    _check_backend,
+    graph_signature,
+    init_parameters,
+)
+from repro.runtime.batching import BatchingConfig, PendingRequest
 from repro.runtime.messages import LoadReply, OffloadReply
 
 #: Cost of partitioning the graph + preparing the runtime on a cache miss.
@@ -58,7 +64,11 @@ class EdgeServer:
         self.functional = functional
         self._model_seed = model_seed
         self._model_params: Dict[str, np.ndarray] | None = None
-        self._tail_executors: Dict[int, SegmentExecutor] = {}
+        # Compiled tail executors keyed by (graph signature, partition
+        # point, batch size): plans compile once and are reused across
+        # requests and across the batching ladder's rungs.
+        self._graph_sig = graph_signature(engine.graph)
+        self._tail_executors: Dict[Tuple[str, int, int], SegmentExecutor] = {}
 
     # -- functional execution --------------------------------------------------
 
@@ -72,19 +82,54 @@ class EdgeServer:
             )
         return self._model_params
 
+    def _tail_executor(self, point: int, batch: int = 1) -> SegmentExecutor:
+        key = (self._graph_sig, point, batch)
+        executor = self._tail_executors.get(key)
+        if executor is None:
+            executor = SegmentExecutor(
+                self.cache.get(point).tail, params=self.model_params,
+                backend=self.backend, batch=batch,
+            )
+            self._tail_executors[key] = executor
+        return executor
+
     def _execute_tail(self, point: int, tensors: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Run the tail segment on the uploaded boundary tensors."""
         partitioned = self.cache.get(point)
         if partitioned.tail.is_empty:
             return {}
-        executor = self._tail_executors.get(point)
-        if executor is None:
-            executor = SegmentExecutor(
-                partitioned.tail, params=self.model_params, backend=self.backend
-            )
-            self._tail_executors[point] = executor
         boundary = {name: tensors[name] for name in partitioned.tail.boundary_inputs}
-        return executor.run(boundary)
+        return self._tail_executor(point).run(boundary)
+
+    def _execute_tail_batch(
+        self, point: int, tensors_list: Sequence[Dict[str, np.ndarray]], padded: int,
+    ) -> List[Dict[str, np.ndarray]]:
+        """Run one ``padded``-sample batched tail over stacked boundaries.
+
+        The ``len(tensors_list)`` real samples are stacked along the batch
+        axis and zero-padded up to ``padded``; per-request output slices
+        keep their leading batch-1 axis, so each reply looks exactly like a
+        solo :meth:`_execute_tail` result.
+        """
+        partitioned = self.cache.get(point)
+        if partitioned.tail.is_empty:
+            return [{} for _ in tensors_list]
+        executor = self._tail_executor(point, batch=padded)
+        b = len(tensors_list)
+        boundary: Dict[str, np.ndarray] = {}
+        for name, spec in partitioned.tail.boundary_inputs.items():
+            stack = [np.asarray(tensors[name]) for tensors in tensors_list]
+            if padded > b:
+                stack.append(np.zeros(
+                    ((padded - b) * spec.shape[0],) + tuple(spec.shape[1:]),
+                    dtype=stack[0].dtype,
+                ))
+            boundary[name] = np.concatenate(stack, axis=0)
+        outputs = executor.run(boundary)
+        return [
+            {name: out[i:i + 1] for name, out in outputs.items()}
+            for i in range(b)
+        ]
 
     # -- request path ---------------------------------------------------------
 
@@ -125,6 +170,68 @@ class EdgeServer:
             partition_overhead_s=overhead,
             tensors=result_tensors,
         )
+
+    def handle_offload_batch(
+        self,
+        now_s: float,
+        requests: Sequence[PendingRequest],
+        point: int,
+        batching: BatchingConfig,
+    ) -> List[OffloadReply]:
+        """Execute one batched tail flush for ``requests`` at ``now_s``.
+
+        The batch is padded up to the nearest ladder rung and runs once on
+        the GPU; all requests finish together.  Each reply's
+        ``server_exec_s`` is that request's *time at the server* — its
+        queueing delay (``now_s - enqueue_s``) plus the shared batch
+        execution time — and that same sum feeds the load-factor monitor,
+        so ``k = observed/predicted`` keeps reflecting what clients truly
+        experience under batching.  Replies are returned in request order.
+        """
+        if not requests:
+            return []
+        cache_hit = point in self.cache
+        partitioned = self.cache.get(point)
+        overhead = 0.0 if cache_hit else PARTITION_OVERHEAD_S
+
+        results: List[Dict[str, np.ndarray] | None]
+        if self.functional and all(r.tensors is not None for r in requests):
+            padded = batching.padded_size(len(requests))
+            results = list(self._execute_tail_batch(
+                point, [r.tensors for r in requests], padded
+            ))
+        else:
+            results = [None] * len(requests)
+
+        profiles = self.engine.tail_profiles(point)
+        kernel_times = self.gpu_model.sample_kernel_times(profiles, self._rng)
+        scale = batching.batch_time_scale(batching.padded_size(len(requests)))
+        level = self.load_schedule.level_at(now_s)
+        exec_s = self.scheduler.execute(
+            [kt * scale for kt in kernel_times], level, self._rng
+        )
+
+        predicted = self.engine.predicted_server_time(point)
+        result_bytes = partitioned.tail.result_bytes if not partitioned.tail.is_empty else 0
+        replies: List[OffloadReply] = []
+        for i, request in enumerate(requests):
+            queue_s = max(now_s - request.enqueue_s, 0.0)
+            observed = queue_s + exec_s
+            if predicted > 0:
+                self.monitor.record(now_s, observed, predicted)
+            self.offload_count += 1
+            replies.append(OffloadReply(
+                request_id=request.request_id,
+                partition_point=point,
+                server_exec_s=observed,
+                result_bytes=result_bytes,
+                cache_hit=cache_hit if i == 0 else True,
+                partition_overhead_s=overhead if i == 0 else 0.0,
+                tensors=results[i],
+                queue_s=queue_s,
+                batch_size=len(requests),
+            ))
+        return replies
 
     # -- profiler path -----------------------------------------------------------
 

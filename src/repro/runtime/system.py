@@ -21,6 +21,7 @@ from repro.network.channel import Channel, NetworkParams
 from repro.network.traces import BandwidthTrace, ConstantTrace
 from repro.nn.executor import BACKENDS
 from repro.profiling.predictor import LatencyPredictor
+from repro.runtime.batching import BatchingConfig
 from repro.runtime.client import UserDevice
 from repro.runtime.events import EventLoop
 from repro.runtime.messages import InferenceRecord
@@ -42,12 +43,17 @@ class SystemConfig:
     seed: int = 0
     backend: str = "naive"           # executor backend for functional runs
     functional: bool = False         # actually execute segments on arrays
+    #: Opt-in dynamic batching of concurrent offloads (multi-client only);
+    #: None keeps the one-request-at-a-time behaviour of the paper.
+    batching: BatchingConfig | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.batching is not None and not isinstance(self.batching, BatchingConfig):
+            raise ValueError("batching must be a BatchingConfig or None")
 
 
 class Timeline:
@@ -100,6 +106,10 @@ class OffloadingSystem:
         network_params: NetworkParams | None = None,
     ) -> None:
         self.config = config or SystemConfig()
+        if self.config.batching is not None:
+            raise ValueError(
+                "dynamic batching needs concurrent clients; use MultiClientSystem"
+            )
         self.engine = engine
         trace = bandwidth_trace or ConstantTrace(8e6)
         self.channel = Channel(trace, network_params)

@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+# Skip plan-compile autotuning in tests: candidate choice only affects
+# speed, never results (all candidates are bit-identical by construction).
+os.environ.setdefault("REPRO_PLAN_FAST_COMPILE", "1")
 
 from repro.core.engine import LoADPartEngine
 from repro.graph.builder import GraphBuilder

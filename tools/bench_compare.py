@@ -9,6 +9,12 @@ Exits non-zero when the candidate's planned backend regresses by more than
 the threshold (default 15%) on any model present in both reports.  Speedups
 and naive-side drift are reported but never fail the check — the planned
 backend is the optimised artefact this gate protects.
+
+``--metric planned_ms`` (the default) gates on absolute planned-backend
+milliseconds — right when both reports come from the same host.
+``--metric speedup`` gates on the naive/planned speedup ratio instead,
+which cancels host speed and is the right choice when the baseline report
+was committed from a different machine (e.g. in CI).
 """
 
 from __future__ import annotations
@@ -34,7 +40,8 @@ def load(path: pathlib.Path) -> dict:
     return report
 
 
-def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
+def compare(baseline: dict, candidate: dict, threshold: float,
+            metric: str = "planned_ms") -> list[str]:
     """Returns a list of human-readable regression messages (empty = pass)."""
     regressions: list[str] = []
     base_results = baseline["results"]
@@ -45,18 +52,25 @@ def compare(baseline: dict, candidate: dict, threshold: float) -> list[str]:
     for name in common:
         base_ms = base_results[name]["planned_ms"]
         cand_ms = cand_results[name]["planned_ms"]
-        ratio = cand_ms / base_ms - 1.0
+        base_speedup = base_results[name]["speedup"]
+        cand_speedup = cand_results[name]["speedup"]
+        if metric == "planned_ms":
+            # Positive = candidate slower, in fractional planned-time terms.
+            loss = cand_ms / base_ms - 1.0
+        else:
+            # Positive = candidate's speedup shrank, host speed cancelled.
+            loss = 1.0 - cand_speedup / base_speedup
         marker = ""
-        if ratio > threshold:
+        if loss > threshold:
             marker = "  <-- REGRESSION"
             regressions.append(
-                f"{name}: planned {base_ms:.1f} -> {cand_ms:.1f} ms "
-                f"(+{ratio * 100:.1f}% > {threshold * 100:.0f}%)"
+                f"{name}: {metric} {base_ms:.1f} -> {cand_ms:.1f} ms / "
+                f"{base_speedup:.2f}x -> {cand_speedup:.2f}x "
+                f"({loss * 100:+.1f}% > {threshold * 100:.0f}%)"
             )
         print(f"{name:12s} planned {base_ms:9.1f} -> {cand_ms:9.1f} ms "
-              f"({ratio * 100:+6.1f}%)  speedup "
-              f"{base_results[name]['speedup']:.2f}x -> "
-              f"{cand_results[name]['speedup']:.2f}x{marker}")
+              f"({(cand_ms / base_ms - 1.0) * 100:+6.1f}%)  speedup "
+              f"{base_speedup:.2f}x -> {cand_speedup:.2f}x{marker}")
     only = sorted(set(base_results) ^ set(cand_results))
     if only:
         print(f"(not compared, present in one report only: {', '.join(only)})")
@@ -68,10 +82,15 @@ def main(argv=None) -> int:
     parser.add_argument("baseline", type=pathlib.Path)
     parser.add_argument("candidate", type=pathlib.Path)
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
-                        help="allowed fractional slowdown of planned_ms (default 0.15)")
+                        help="allowed fractional regression (default 0.15)")
+    parser.add_argument("--metric", choices=("planned_ms", "speedup"),
+                        default="planned_ms",
+                        help="gate on absolute planned time (same-host reports) "
+                             "or on the naive/planned speedup (cross-host)")
     args = parser.parse_args(argv)
 
-    regressions = compare(load(args.baseline), load(args.candidate), args.threshold)
+    regressions = compare(load(args.baseline), load(args.candidate),
+                          args.threshold, metric=args.metric)
     if regressions:
         print("\nplanned-backend regressions over threshold:", file=sys.stderr)
         for line in regressions:
