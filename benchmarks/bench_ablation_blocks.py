@@ -6,7 +6,6 @@ the same decision as the full scan on every DAG model of the zoo, and
 reports the block-cut evidence per model.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.blocks import block_cut_report, candidate_points

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.engine import LoADPartEngine
 from repro.experiments.reporting import render_table
-from repro.graph.fusion import fuse_graph, fusion_summary
+from repro.graph.fusion import fuse_graph
 from repro.hardware import DeviceModel, GpuModel, GpuScheduler, LOAD_LEVELS
 from repro.models import build_model
 from repro.profiling.features import profile_graph

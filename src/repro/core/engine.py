@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-import numpy as np
 
 from repro.core.partition_algorithm import (
     PartitionDecision,
@@ -95,6 +94,25 @@ class LoADPartEngine:
         if point == self.num_nodes:
             return 0.0
         return self.sizes[point] * 8 / bandwidth_up
+
+    def predicted_total_time(self, point: int, bandwidth_up: float,
+                             k: float = 1.0) -> float:
+        """Predicted end-to-end latency of partition ``point`` (Problem (1)).
+
+        The same objective value Algorithm 1 minimises — device prefix plus
+        upload plus ``k``-scaled server suffix.  The resilient client derives
+        its per-attempt offload deadline from this prediction
+        (``margin × predicted_total``): a request that overshoots its own
+        prediction several-fold is lost, not merely slow.
+        """
+        self._check_point(point)
+        if bandwidth_up <= 0:
+            raise ValueError("upload bandwidth must be positive")
+        return float(
+            self._prefix[point]
+            + self.predicted_upload_time(point, bandwidth_up)
+            + k * self._suffix[point]
+        )
 
     def tail_profiles(self, point: int) -> Sequence[NodeProfile]:
         """Node profiles of the server-side tail for partition ``point``."""

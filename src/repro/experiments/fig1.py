@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.experiments.context import default_engine
 from repro.experiments.reporting import ms, render_table
 from repro.hardware.device_model import DeviceModel
 from repro.hardware.gpu_model import GpuModel

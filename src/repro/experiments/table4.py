@@ -7,7 +7,6 @@ for each machine, so readers can see what the substitution actually is.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.experiments.reporting import render_table
 from repro.hardware.device_model import DeviceParams

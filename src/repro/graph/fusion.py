@@ -20,7 +20,7 @@ profiler can train dedicated LR models for them, exactly as §VI suggests.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.graph.graph import ComputationGraph
 from repro.graph.node import CNode

@@ -43,8 +43,8 @@ the paper (MAPE ~40%).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 

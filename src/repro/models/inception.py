@@ -6,7 +6,6 @@ the 1.02 MB input, so the optimal partition point can never lie inside a
 block — which justifies the linear scan over the topological order.
 """
 
-from typing import Sequence
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.graph import ComputationGraph

@@ -6,12 +6,14 @@ sliding-window bandwidth estimator combining active probes with passive
 measurements of offloading transfers (:mod:`estimator`, §IV).
 """
 
-from repro.network.channel import Channel, NetworkParams
+from repro.network.channel import Channel, NetworkParams, TransferResult
 from repro.network.codec import EncodedTensor, TensorCodec
 from repro.network.estimator import BandwidthEstimator
+from repro.network.faults import FaultPlan, FaultyChannel, ServerFaultPlan
 from repro.network.traces import (
     BandwidthTrace,
     ConstantTrace,
+    OutageTrace,
     RandomWalkTrace,
     StepTrace,
     fig6_trace,
@@ -23,9 +25,14 @@ __all__ = [
     "Channel",
     "ConstantTrace",
     "EncodedTensor",
+    "FaultPlan",
+    "FaultyChannel",
     "TensorCodec",
     "NetworkParams",
+    "OutageTrace",
     "RandomWalkTrace",
+    "ServerFaultPlan",
     "StepTrace",
+    "TransferResult",
     "fig6_trace",
 ]

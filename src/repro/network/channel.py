@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,6 +18,43 @@ class NetworkParams:
     base_latency_s: float = 2.0e-3   # per-message propagation + stack latency
     jitter_sigma: float = 0.05       # lognormal multiplicative jitter on transfers
 
+    def __post_init__(self) -> None:
+        if self.base_latency_s < 0:
+            raise ValueError("base_latency_s must be non-negative")
+        if self.jitter_sigma < 0:
+            raise ValueError("jitter_sigma must be non-negative")
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one transfer attempt over the (possibly faulty) link.
+
+    ``elapsed_s`` is always the wall time the *sender* spent on the attempt:
+    the transfer duration when delivered, the time-to-timeout when not.
+    A failed attempt with no timeout budget reports ``inf`` — the sender
+    would wait forever (this is how a non-resilient client stalls).
+    """
+
+    delivered: bool
+    elapsed_s: float
+    nbytes: int = 0
+    timed_out: bool = False
+
+    @staticmethod
+    def failed(nbytes: int, timeout_s: float | None = None) -> "TransferResult":
+        elapsed = timeout_s if timeout_s is not None else math.inf
+        return TransferResult(delivered=False, elapsed_s=elapsed,
+                              nbytes=nbytes, timed_out=True)
+
+    @staticmethod
+    def from_elapsed(nbytes: int, elapsed_s: float,
+                     timeout_s: float | None = None) -> "TransferResult":
+        """Classify a raw duration against the timeout budget."""
+        if not math.isfinite(elapsed_s) or (
+                timeout_s is not None and elapsed_s > timeout_s):
+            return TransferResult.failed(nbytes, timeout_s)
+        return TransferResult(delivered=True, elapsed_s=elapsed_s, nbytes=nbytes)
+
 
 class Channel:
     """The WiFi link: computes transfer times against a bandwidth trace."""
@@ -26,19 +64,29 @@ class Channel:
         self.params = params or NetworkParams()
 
     def mean_upload_time(self, nbytes: int, t: float) -> float:
-        """Noiseless upload duration of ``nbytes`` starting at time ``t``."""
+        """Noiseless upload duration of ``nbytes`` starting at time ``t``.
+
+        An outage-capable trace may report zero bandwidth, in which case the
+        transfer never completes (``inf``).
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
             return 0.0
-        return self.params.base_latency_s + nbytes * 8 / self.trace.upload_at(t)
+        bandwidth = self.trace.upload_at(t)
+        if bandwidth <= 0:
+            return math.inf
+        return self.params.base_latency_s + nbytes * 8 / bandwidth
 
     def mean_download_time(self, nbytes: int, t: float) -> float:
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         if nbytes == 0:
             return 0.0
-        return self.params.base_latency_s + nbytes * 8 / self.trace.download_at(t)
+        bandwidth = self.trace.download_at(t)
+        if bandwidth <= 0:
+            return math.inf
+        return self.params.base_latency_s + nbytes * 8 / bandwidth
 
     def upload_time(self, nbytes: int, t: float, rng: np.random.Generator) -> float:
         """One noisy upload duration sample."""
@@ -46,3 +94,23 @@ class Channel:
 
     def download_time(self, nbytes: int, t: float, rng: np.random.Generator) -> float:
         return self.mean_download_time(nbytes, t) * lognormal_factor(rng, self.params.jitter_sigma)
+
+    # -- fault-aware attempt interface ---------------------------------------
+    #
+    # The plain channel never injects faults: an attempt only fails when the
+    # trace itself reports a dead link (zero bandwidth) or the duration
+    # exceeds the caller's timeout budget.  ``FaultyChannel`` overrides these
+    # to consult a FaultPlan.
+
+    def try_upload(self, nbytes: int, t: float, rng: np.random.Generator,
+                   timeout_s: float | None = None) -> TransferResult:
+        """One upload attempt under a timeout budget (None = wait forever)."""
+        return TransferResult.from_elapsed(
+            nbytes, self.upload_time(nbytes, t, rng), timeout_s
+        )
+
+    def try_download(self, nbytes: int, t: float, rng: np.random.Generator,
+                     timeout_s: float | None = None) -> TransferResult:
+        return TransferResult.from_elapsed(
+            nbytes, self.download_time(nbytes, t, rng), timeout_s
+        )

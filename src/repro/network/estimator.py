@@ -6,10 +6,25 @@ window's history, and passively, from the measured upload durations of
 actual offloading transfers in the main thread.  Both kinds of samples land
 in one sliding window; the estimate is the window median (robust to the
 heavy-tailed outliers that congested WiFi produces).
+
+The window is bounded twice: by sample count (``window_size``) and — when
+``window_s`` is given — by age, matching the paper's description of a
+*time* window.  Age expiry matters under faults: after a link outage the
+pre-outage samples are exactly the ones that must stop dominating the
+median.
+
+Failed transfers are evidence too: a transfer of ``n`` bytes that did not
+complete within ``t`` seconds proves the usable bandwidth was below
+``8n/t`` bit/s, so :meth:`BandwidthEstimator.add_failure` records that
+upper bound as a (pessimistic) sample instead of discarding the
+observation.  Degenerate measurements (zero bytes, non-positive or
+infinite durations) are silently ignored rather than raised — a probe that
+never completed must not crash the profiler thread.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque
@@ -22,6 +37,7 @@ class _Sample:
     time_s: float
     bandwidth_bps: float
     passive: bool
+    failure: bool = False
 
 
 class BandwidthEstimator:
@@ -34,16 +50,21 @@ class BandwidthEstimator:
         probe_target_duration_s: float = 0.05,
         min_probe_bytes: int = 4 * 1024,
         max_probe_bytes: int = 4 * 1024 * 1024,
+        window_s: float | None = None,
     ) -> None:
         if window_size < 1:
             raise ValueError("window_size must be >= 1")
         if initial_estimate_bps <= 0:
             raise ValueError("initial estimate must be positive")
+        if window_s is not None and window_s <= 0:
+            raise ValueError("window_s must be positive (or None for no age bound)")
         self._window: Deque[_Sample] = deque(maxlen=window_size)
         self._initial = initial_estimate_bps
         self._probe_target_duration_s = probe_target_duration_s
         self._min_probe_bytes = min_probe_bytes
         self._max_probe_bytes = max_probe_bytes
+        self._window_s = window_s
+        self._last_time_s = -math.inf
 
     # -- measurement ingestion ---------------------------------------------------
 
@@ -55,15 +76,35 @@ class BandwidthEstimator:
         """Record a passive measurement from an actual offloading upload."""
         self._add(time_s, nbytes, duration_s, passive=True)
 
-    def _add(self, time_s: float, nbytes: int, duration_s: float, passive: bool) -> None:
-        if nbytes <= 0 or duration_s <= 0:
-            raise ValueError("probe bytes and duration must be positive")
-        self._window.append(_Sample(time_s, nbytes * 8 / duration_s, passive))
+    def add_failure(self, time_s: float, nbytes: int, elapsed_s: float) -> None:
+        """Record a failed transfer: ``nbytes`` did NOT complete in ``elapsed_s``.
+
+        The implied bandwidth upper bound enters the window as a pessimistic
+        sample, so repeated failures drag the median down and push the
+        partition decision toward local execution — the transfer's waiting
+        time becomes evidence instead of being unrecordable.
+        """
+        self._add(time_s, nbytes, elapsed_s, passive=True, failure=True)
+
+    def _add(self, time_s: float, nbytes: int, duration_s: float, passive: bool,
+             failure: bool = False) -> None:
+        if nbytes <= 0 or duration_s <= 0 or not math.isfinite(duration_s):
+            return  # degenerate measurement: ignore, never crash the profiler
+        self._last_time_s = max(self._last_time_s, time_s)
+        self._evict(self._last_time_s)
+        self._window.append(_Sample(time_s, nbytes * 8 / duration_s, passive, failure))
+
+    def _evict(self, now_s: float) -> None:
+        if self._window_s is None:
+            return
+        while self._window and self._window[0].time_s < now_s - self._window_s:
+            self._window.popleft()
 
     # -- queries -------------------------------------------------------------------
 
     def estimate(self) -> float:
         """Current upload-bandwidth estimate in bit/s (median of the window)."""
+        self._evict(self._last_time_s)
         if not self._window:
             return self._initial
         return float(np.median([s.bandwidth_bps for s in self._window]))
@@ -87,3 +128,10 @@ class BandwidthEstimator:
         if not self._window:
             return 0.0
         return sum(1 for s in self._window if s.passive) / len(self._window)
+
+    @property
+    def failure_fraction(self) -> float:
+        """Fraction of window samples that are failed-transfer upper bounds."""
+        if not self._window:
+            return 0.0
+        return sum(1 for s in self._window if s.failure) / len(self._window)

@@ -102,6 +102,38 @@ class RandomWalkTrace(BandwidthTrace):
         return float(self._values[idx])
 
 
+class OutageTrace(BandwidthTrace):
+    """A base trace overlaid with hard link-outage windows.
+
+    During an outage the link reports zero bandwidth — the channel maps
+    that to an infinite (never-completing) transfer, which is what a dark
+    access point looks like from the device.  Windows are ``(start_s,
+    end_s)`` pairs, sorted and non-overlapping.
+    """
+
+    def __init__(self, base: BandwidthTrace,
+                 windows: Sequence[Tuple[float, float]]) -> None:
+        prev_end = -math.inf
+        for window in windows:
+            start, end = window
+            if not start < end:
+                raise ValueError(f"outage window must have start < end, got {window!r}")
+            if start < prev_end:
+                raise ValueError("outage windows must be sorted and non-overlapping")
+            prev_end = end
+        self.base = base
+        self.windows = [tuple(w) for w in windows]
+
+    def in_outage(self, t: float) -> bool:
+        return any(start <= t < end for start, end in self.windows)
+
+    def upload_at(self, t: float) -> float:
+        return 0.0 if self.in_outage(t) else self.base.upload_at(t)
+
+    def download_at(self, t: float) -> float:
+        return 0.0 if self.in_outage(t) else self.base.download_at(t)
+
+
 #: Upload bandwidths of the Fig. 6 sweep, in Mbps: starts at 8, decreases
 #: to 1, then increases to 64 (paper §V-B).
 FIG6_BANDWIDTHS_MBPS: Tuple[float, ...] = (8, 4, 2, 1, 2, 4, 8, 16, 32, 64)

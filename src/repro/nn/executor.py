@@ -9,7 +9,7 @@ paper assumes (both sides preload the DNN model file, §III-A).
 from __future__ import annotations
 
 import zlib
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable
 
 import numpy as np
 

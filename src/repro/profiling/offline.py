@@ -15,14 +15,13 @@ Table III.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.graph.ops import CATEGORIES, FUSED_CATEGORIES
 from repro.hardware.device_model import DeviceModel
 from repro.hardware.gpu_model import GpuModel
-from repro.profiling.features import feature_vector
 from repro.profiling.metrics import mape, rmse
 from repro.profiling.predictor import LatencyPredictor
 from repro.profiling.sampler import ConfigSampler, ProfiledSample

@@ -21,11 +21,14 @@ event-driven.
 from repro.runtime.client import UserDevice
 from repro.runtime.multi import FleetResult, MultiClientSystem, SharedLoadTracker
 from repro.runtime.events import EventLoop
-from repro.runtime.messages import InferenceRecord, LoadReply, OffloadReply
+from repro.runtime.messages import BusyReply, InferenceRecord, LoadReply, OffloadReply
+from repro.runtime.resilience import CircuitBreaker, ResilienceConfig
 from repro.runtime.server import EdgeServer
 from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
 
 __all__ = [
+    "BusyReply",
+    "CircuitBreaker",
     "EdgeServer",
     "FleetResult",
     "MultiClientSystem",
@@ -35,6 +38,7 @@ __all__ = [
     "LoadReply",
     "OffloadReply",
     "OffloadingSystem",
+    "ResilienceConfig",
     "SystemConfig",
     "Timeline",
     "UserDevice",

@@ -5,11 +5,21 @@ extra round-trips, §III-A), executes head segments on the local CPU,
 uploads intermediate tensors, and hosts the runtime-profiler activities:
 adaptive bandwidth probes, passive bandwidth measurements from actual
 uploads, and the periodic load query that fetches the server's ``k``.
+
+With a :class:`~repro.runtime.resilience.ResilienceConfig` the device also
+survives a *broken* offload path instead of hanging on it: every offload
+attempt carries a deadline derived from the engine's own latency
+prediction, failures are retried with exponential backoff at the
+re-decided partition point, a circuit breaker pins ``point = n`` after
+consecutive failures (the §IV profiler tick doubles as the half-open
+health probe), failed transfers feed the bandwidth estimator as evidence,
+and a stale load factor stops steering decisions after a TTL.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 from typing import Dict, Protocol, Tuple
 
 import numpy as np
@@ -22,7 +32,8 @@ from repro.hardware.device_model import DeviceModel
 from repro.network.channel import Channel
 from repro.network.estimator import BandwidthEstimator
 from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
-from repro.runtime.messages import InferenceRecord, OffloadReply
+from repro.runtime.messages import BusyReply, InferenceRecord, OffloadReply
+from repro.runtime.resilience import CircuitBreaker, ResilienceConfig
 from repro.runtime.server import PARTITION_OVERHEAD_S, EdgeServer
 
 
@@ -40,6 +51,12 @@ class PendingOffload:
     offload; the batched fleet driver parks it in the server's batch queue
     and finishes the record via :meth:`UserDevice.complete_inference` once
     the batch flushes.
+
+    Under a resilient configuration ``timeout_s`` is the attempt's
+    network-side deadline (upload + server + download budget, armed when
+    the upload starts) and ``delivered`` records whether the upload made it
+    at all — an undelivered offload's ``arrive_s`` is the instant the
+    device gives up waiting, not a server arrival.
     """
 
     request_id: int
@@ -54,6 +71,15 @@ class PendingOffload:
     arrive_s: float                       # when the upload lands at the server
     transfers: Dict[str, np.ndarray] | None
     head_outputs: Dict[str, np.ndarray] | None
+    timeout_s: float = 0.0
+    delivered: bool = True
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute instant the device abandons this attempt."""
+        if self.timeout_s <= 0:
+            return math.inf
+        return self.start_s + self.device_s + self.timeout_s
 
 
 class UserDevice:
@@ -71,16 +97,30 @@ class UserDevice:
         backend: str = "naive",
         functional: bool = False,
         model_seed: int = 0,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.engine = engine
         self.server = server
         self.channel = channel
         self.policy = policy if policy is not None else engine
         self.device_model = device_model or DeviceModel()
-        self.estimator = estimator or BandwidthEstimator()
+        self.resilience = resilience
+        if estimator is not None:
+            self.estimator = estimator
+        elif resilience is not None:
+            # Failed transfers make old samples lie; bound their age.
+            self.estimator = BandwidthEstimator(window_s=resilience.bandwidth_window_s)
+        else:
+            self.estimator = BandwidthEstimator()
+        self.breaker: CircuitBreaker | None = None
+        if resilience is not None:
+            self.breaker = CircuitBreaker(
+                resilience.failure_threshold, resilience.cooldown_s
+            )
         self.cache = PartitionCache(GraphPartitioner(engine.graph))
         self._rng = np.random.default_rng(seed)
         self._latest_k = 1.0
+        self._k_time_s = -math.inf
         self._request_seq = 0
         self.backend = _check_backend(backend)
         self.functional = functional
@@ -102,22 +142,73 @@ class UserDevice:
         return self._latest_k
 
     def send_probe(self, now_s: float) -> float:
-        """Upload an adaptive-size probe packet; returns its duration."""
+        """Upload an adaptive-size probe packet; returns its duration.
+
+        In resilient mode the probe runs under ``probe_timeout_s`` and a
+        failed probe is recorded as bandwidth *evidence* (an upper bound)
+        instead of being silently unmeasurable.
+        """
         probe_bytes = self.estimator.next_probe_bytes()
-        duration = self.channel.upload_time(probe_bytes, now_s, self._rng)
-        self.estimator.add_probe(now_s, probe_bytes, duration)
-        return duration
+        if self.resilience is None:
+            duration = self.channel.upload_time(probe_bytes, now_s, self._rng)
+            self.estimator.add_probe(now_s, probe_bytes, duration)
+            return duration
+        result = self.channel.try_upload(
+            probe_bytes, now_s, self._rng, timeout_s=self.resilience.probe_timeout_s
+        )
+        if result.delivered:
+            self.estimator.add_probe(now_s, probe_bytes, result.elapsed_s)
+        else:
+            self.estimator.add_failure(now_s, probe_bytes, result.elapsed_s)
+        self._last_probe_ok = result.delivered
+        return result.elapsed_s
 
     def query_load(self, now_s: float) -> float:
-        """Fetch the most recent influential factor from the server."""
+        """Fetch the most recent influential factor from the server.
+
+        A crashed server answers nothing; the device keeps its last ``k``
+        (subject to the staleness TTL in resilient mode).
+        """
         reply = self.server.handle_load_query(now_s)
-        self._latest_k = max(reply.k, 1.0)
+        if reply is not None:
+            self._latest_k = max(reply.k, 1.0)
+            self._k_time_s = now_s
         return self._latest_k
 
     def profiler_tick(self, now_s: float) -> None:
-        """One period of the runtime profiler: probe + load query (§IV)."""
+        """One period of the runtime profiler: probe + load query (§IV).
+
+        In resilient mode this tick is also the circuit breaker's half-open
+        health probe: a tick whose probe *and* load query both succeed
+        counts as path health (and closes an open breaker once the cooldown
+        has elapsed); a failed tick counts as a path failure.
+        """
+        self._last_probe_ok = True
         self.send_probe(now_s)
-        self.query_load(now_s)
+        if self.resilience is None:
+            self.query_load(now_s)
+            return
+        reply = self.server.handle_load_query(now_s) if self._last_probe_ok else None
+        if reply is not None:
+            self._latest_k = max(reply.k, 1.0)
+            self._k_time_s = now_s
+            assert self.breaker is not None
+            self.breaker.record_success(now_s)
+        else:
+            assert self.breaker is not None
+            self.breaker.record_failure(now_s)
+
+    def _current_k(self, now_s: float) -> float:
+        """The load factor the decision should use right now.
+
+        Resilient mode expires ``k`` after ``k_ttl_s`` without a successful
+        load query — a dead server's last (possibly huge) ``k`` must stop
+        steering decisions once it can no longer be refreshed.
+        """
+        if (self.resilience is not None
+                and now_s - self._k_time_s > self.resilience.k_ttl_s):
+            return 1.0
+        return self._latest_k
 
     # -- functional execution --------------------------------------------------
 
@@ -160,7 +251,9 @@ class UserDevice:
 
     # -- inference path ------------------------------------------------------
 
-    def begin_inference(self, now_s: float) -> InferenceRecord | PendingOffload:
+    def begin_inference(self, now_s: float, *, request_id: int | None = None,
+                        force_local: bool = False,
+                        ) -> InferenceRecord | PendingOffload:
         """Decide, run the head, and upload; stop short of the server call.
 
         Local decisions complete immediately and return the finished
@@ -168,14 +261,29 @@ class UserDevice:
         :class:`PendingOffload` whose server reply the caller must obtain
         (synchronously via ``handle_offload`` or through a batch queue) and
         feed to :meth:`complete_inference`.
+
+        ``request_id`` reuses an existing id (retries of the same logical
+        request); ``force_local`` pins ``point = n`` regardless of the
+        policy (open circuit breaker, fallback after failures).  In
+        resilient mode a dropped/timed-out upload returns a
+        :class:`PendingOffload` with ``delivered=False``; without
+        resilience it returns a ``status="failed"`` record whose total is
+        infinite — the device would wait forever.
         """
-        self._request_seq += 1
-        request_id = self._request_seq
+        if request_id is None:
+            self._request_seq += 1
+            request_id = self._request_seq
         bandwidth = self.estimator.estimate()
-        k = self._latest_k
-        decision = self.policy.decide(bandwidth, k=k)
-        point = decision.point
+        k = self._current_k(now_s)
         n = self.engine.num_nodes
+        timeout_s = 0.0
+        if force_local:
+            point = n
+        else:
+            decision = self.policy.decide(bandwidth, k=k)
+            point = decision.point
+            if self.resilience is not None and point < n:
+                timeout_s = self.resilience.timeout_for(decision.predicted_latency)
 
         device_cache_hit = point in self.cache
         partitioned = self.cache.get(point)
@@ -212,9 +320,23 @@ class UserDevice:
             )
 
         upload_bytes = partitioned.upload_bytes
-        upload_s = self.channel.upload_time(upload_bytes, now_s, self._rng)
-        # Passive bandwidth measurement from the real transfer (§IV).
-        self.estimator.add_passive(now_s, upload_bytes, upload_s)
+        budget = timeout_s if self.resilience is not None else None
+        result = self.channel.try_upload(upload_bytes, now_s, self._rng,
+                                         timeout_s=budget)
+        if result.delivered:
+            # Passive bandwidth measurement from the real transfer (§IV).
+            self.estimator.add_passive(now_s, upload_bytes, result.elapsed_s)
+        elif self.resilience is not None:
+            # The failed transfer is still evidence: bandwidth was below
+            # 8*bytes/elapsed, or the link is dark.
+            self.estimator.add_failure(now_s, upload_bytes, result.elapsed_s)
+        else:
+            # A non-resilient device blocks on the dead transfer forever.
+            return self._failed_record(
+                request_id, now_s, point, bandwidth, k,
+                device_s=device_s, upload_s=result.elapsed_s, overhead_s=overhead,
+                device_cache_hit=device_cache_hit,
+            )
 
         return PendingOffload(
             request_id=request_id,
@@ -223,27 +345,69 @@ class UserDevice:
             estimated_bandwidth_bps=bandwidth,
             k_used=k,
             device_s=device_s,
-            upload_s=upload_s,
+            upload_s=result.elapsed_s,
             overhead_s=overhead,
             device_cache_hit=device_cache_hit,
-            arrive_s=now_s + device_s + upload_s,
+            arrive_s=now_s + device_s + result.elapsed_s,
             transfers=transfers,
             head_outputs=head_outputs,
+            timeout_s=timeout_s,
+            delivered=result.delivered,
+        )
+
+    def _failed_record(self, request_id: int, start_s: float, point: int,
+                       bandwidth: float, k: float, *, device_s: float,
+                       upload_s: float, overhead_s: float,
+                       device_cache_hit: bool, server_s: float = 0.0,
+                       ) -> InferenceRecord:
+        """A request a non-resilient device can never finish (total = inf)."""
+        return InferenceRecord(
+            request_id=request_id,
+            start_s=start_s,
+            partition_point=point,
+            estimated_bandwidth_bps=bandwidth,
+            k_used=k,
+            device_s=device_s,
+            upload_s=upload_s,
+            server_s=server_s,
+            download_s=0.0,
+            overhead_s=overhead_s,
+            total_s=math.inf,
+            load_level=self.server.load_schedule.level_at(start_s).name,
+            device_cache_hit=device_cache_hit,
+            server_cache_hit=False,
+            status="failed",
         )
 
     def complete_inference(self, pending: PendingOffload, reply: OffloadReply,
-                           download_at_s: float | None = None) -> InferenceRecord:
+                           download_at_s: float | None = None,
+                           download_timeout_s: float | None = None,
+                           ) -> InferenceRecord:
         """Finish a pending offload from the server's reply.
 
         ``download_at_s`` is when the result starts downloading — the upload
         arrival time in the synchronous path, the batch completion time
-        under dynamic batching.
+        under dynamic batching.  A download that misses
+        ``download_timeout_s`` (or never completes) yields a
+        ``status="failed"`` record; the resilient retry loop turns that
+        into another attempt.
         """
         if download_at_s is None:
             download_at_s = pending.arrive_s
-        download_s = self.channel.download_time(
-            reply.result_bytes, download_at_s, self._rng
+        result = self.channel.try_download(
+            reply.result_bytes, download_at_s, self._rng,
+            timeout_s=download_timeout_s,
         )
+        if not result.delivered:
+            return self._failed_record(
+                pending.request_id, pending.start_s, pending.partition_point,
+                pending.estimated_bandwidth_bps, pending.k_used,
+                device_s=pending.device_s, upload_s=pending.upload_s,
+                overhead_s=pending.overhead_s + reply.partition_overhead_s,
+                device_cache_hit=pending.device_cache_hit,
+                server_s=reply.server_exec_s,
+            )
+        download_s = result.elapsed_s
 
         if reply.tensors is not None:
             out_name = self.engine.graph.output_name
@@ -277,10 +441,36 @@ class UserDevice:
             server_cache_hit=reply.cache_hit,
             server_queue_s=reply.queue_s,
             batch_size=reply.batch_size,
+            timeout_s=pending.timeout_s,
+        )
+
+    def fallback_record(self, request_id: int, start_s: float, now_s: float, *,
+                        retries: int = 0, timeout_s: float = 0.0,
+                        status: str = "fallback_local") -> InferenceRecord:
+        """Resolve a failed offload by running the whole model locally.
+
+        ``now_s - start_s`` is the time already burned on the offload path
+        (timeouts waited out, backoff, rejections); it lands in ``wasted_s``
+        and in the total, because the user experienced it.
+        """
+        record = self.begin_inference(now_s, request_id=request_id,
+                                      force_local=True)
+        assert isinstance(record, InferenceRecord)
+        wasted = now_s - start_s
+        return replace(
+            record,
+            start_s=start_s,
+            total_s=record.total_s + wasted,
+            wasted_s=wasted,
+            retries=retries,
+            timeout_s=timeout_s,
+            status=status,
         )
 
     def request_inference(self, now_s: float) -> InferenceRecord:
         """Run one end-to-end inference starting at ``now_s``."""
+        if self.resilience is not None:
+            return self._request_resilient(now_s)
         pending = self.begin_inference(now_s)
         if isinstance(pending, InferenceRecord):
             return pending
@@ -288,4 +478,104 @@ class UserDevice:
             pending.arrive_s, pending.request_id, pending.partition_point,
             tensors=pending.transfers,
         )
+        if not isinstance(reply, OffloadReply):
+            # Crashed (None) or shedding (BusyReply): a non-resilient device
+            # understands neither and waits forever.
+            return self._failed_record(
+                pending.request_id, pending.start_s, pending.partition_point,
+                pending.estimated_bandwidth_bps, pending.k_used,
+                device_s=pending.device_s, upload_s=pending.upload_s,
+                overhead_s=pending.overhead_s,
+                device_cache_hit=pending.device_cache_hit,
+            )
         return self.complete_inference(pending, reply)
+
+    def _request_resilient(self, now_s: float) -> InferenceRecord:
+        """Deadline + retry + circuit-breaker wrapper around one inference."""
+        cfg = self.resilience
+        breaker = self.breaker
+        assert cfg is not None and breaker is not None
+
+        clock = now_s
+        retries = 0
+        rejected = False
+        timeout_seen = 0.0
+        request_id: int | None = None
+
+        if not breaker.allow_offload(clock):
+            record = self.begin_inference(clock, force_local=True)
+            assert isinstance(record, InferenceRecord)
+            return replace(record, status="fallback_local")
+
+        while True:
+            pending = self.begin_inference(clock, request_id=request_id)
+            if isinstance(pending, InferenceRecord):
+                # The decision itself chose local.  On the first attempt
+                # that is normal operation; after failures it is the
+                # degraded path (the failures fed the estimator/k).
+                if retries == 0:
+                    return pending
+                wasted = clock - now_s
+                return replace(
+                    pending,
+                    start_s=now_s,
+                    total_s=pending.total_s + wasted,
+                    wasted_s=wasted,
+                    retries=retries,
+                    timeout_s=timeout_seen,
+                    status="rejected" if rejected else "fallback_local",
+                )
+            request_id = pending.request_id
+            timeout_seen = pending.timeout_s
+
+            failed_at = None  # when the device learned this attempt died
+            if not pending.delivered:
+                failed_at = pending.deadline_s
+            else:
+                reply = self.server.handle_offload(
+                    pending.arrive_s, pending.request_id,
+                    pending.partition_point, tensors=pending.transfers,
+                )
+                if isinstance(reply, OffloadReply):
+                    remaining = (pending.timeout_s - pending.upload_s
+                                 - reply.server_exec_s)
+                    if remaining > 0:
+                        record = self.complete_inference(
+                            pending, reply, download_timeout_s=remaining
+                        )
+                        if record.status != "failed":
+                            finish_s = pending.arrive_s + reply.server_exec_s
+                            breaker.record_success(finish_s)
+                            wasted = clock - now_s
+                            return replace(
+                                record,
+                                start_s=now_s,
+                                total_s=record.total_s + wasted,
+                                wasted_s=wasted,
+                                retries=retries,
+                                status="retried" if retries else "ok",
+                            )
+                    failed_at = pending.deadline_s
+                elif isinstance(reply, BusyReply):
+                    # Fast shed: the rejection round-trips immediately; the
+                    # device honours retry_after before trying again.
+                    rejected = True
+                    clock = (pending.arrive_s + self.channel.params.base_latency_s
+                             + reply.retry_after_s)
+                else:
+                    # Crashed server: no reply ever comes; the deadline fires.
+                    failed_at = pending.deadline_s
+
+            if failed_at is not None:
+                clock = failed_at
+                breaker.record_failure(clock)
+
+            if retries >= cfg.max_retries or not breaker.allow_offload(clock):
+                return self.fallback_record(
+                    request_id, now_s, clock, retries=retries,
+                    timeout_s=timeout_seen,
+                    status="rejected" if rejected else "fallback_local",
+                )
+            retries += 1
+            if failed_at is not None:
+                clock += cfg.backoff_s(retries, float(self._rng.random()))

@@ -2,8 +2,22 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict
+
+#: Request outcome taxonomy shared by :class:`OffloadReply` and
+#: :class:`InferenceRecord`:
+#:
+#: - ``ok`` — completed on the first attempt (offloaded or locally, as decided).
+#: - ``retried`` — offload completed after at least one retry.
+#: - ``fallback_local`` — offload path failed (timeouts, dead server, open
+#:   circuit breaker); the device degraded to full local execution.
+#: - ``rejected`` — the server's admission control turned the request away
+#:   (BusyReply) and the retry budget ran out; resolved locally.
+#: - ``failed`` — a non-resilient client hit a fault it cannot handle: the
+#:   request never completes (``total_s`` is ``inf``).
+STATUSES = ("ok", "retried", "fallback_local", "rejected", "failed")
 
 
 @dataclass(frozen=True)
@@ -19,10 +33,25 @@ class OffloadReply:
     partition_overhead_s: float
     queue_s: float = 0.0       # batching queue delay folded into server_exec_s
     batch_size: int = 1        # requests co-executed in this batch
+    status: str = "ok"
     #: Tail-segment output tensors (producer name -> array) when the system
     #: runs in functional mode; None in pure-simulation runs.  Excluded from
     #: equality/repr so timing-level semantics are unchanged.
     tensors: Dict[str, Any] | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class BusyReply:
+    """Admission-control rejection: the server's queue is full.
+
+    Instead of absorbing unbounded load (and letting every client's latency
+    diverge), a bounded server sheds it — the client should retry after
+    ``retry_after_s`` or fall back to local execution.
+    """
+
+    request_id: int
+    retry_after_s: float
+    status: str = "rejected"
 
 
 @dataclass(frozen=True)
@@ -53,7 +82,26 @@ class InferenceRecord:
     server_cache_hit: bool
     server_queue_s: float = 0.0   # batching queue delay (part of server_s)
     batch_size: int = 1           # requests co-executed with this one
+    status: str = "ok"            # one of STATUSES
+    retries: int = 0              # offload attempts beyond the first
+    timeout_s: float = 0.0        # per-attempt deadline (0 = no deadline)
+    #: Wall time burned on failed attempts before the recorded (final) one:
+    #: timeouts waited out, backoff sleeps, busy-rejection round trips.  The
+    #: waiting is latency the user experienced, so it is part of
+    #: ``total_s`` (total = device + upload + server + download + overhead
+    #: + wasted).
+    wasted_s: float = 0.0
 
     @property
     def is_local(self) -> bool:
         return self.upload_s == 0.0 and self.server_s == 0.0
+
+    @property
+    def completed(self) -> bool:
+        """True when the request produced a result (locally or offloaded)."""
+        return self.status != "failed" and math.isfinite(self.total_s)
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the request was resolved by degrading to local."""
+        return self.status in ("fallback_local", "rejected")

@@ -22,19 +22,20 @@ recovers.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Dict, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Deque, List, Tuple
 
 import numpy as np
 
 from repro.core.engine import LoADPartEngine
 from repro.hardware.background import LoadLevel
 from repro.network.channel import Channel, NetworkParams
+from repro.network.faults import FaultyChannel
 from repro.network.traces import BandwidthTrace, ConstantTrace
 from repro.runtime.batching import DynamicBatcher, PendingRequest
-from repro.runtime.client import UserDevice
+from repro.runtime.client import PendingOffload, UserDevice
 from repro.runtime.events import EventLoop
-from repro.runtime.messages import InferenceRecord
+from repro.runtime.messages import InferenceRecord, OffloadReply
 from repro.runtime.server import EdgeServer
 from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
 
@@ -104,7 +105,9 @@ class SharedEdgeServer(EdgeServer):
                        tensors=None):
         reply = super().handle_offload(now_s, request_id, point, tensors=tensors)
         # The executed tail occupies the shared GPU; later requests see it.
-        self.tracker.record(now_s, reply.server_exec_s)
+        # A crash (None) or rejection (BusyReply) executed nothing.
+        if isinstance(reply, OffloadReply):
+            self.tracker.record(now_s, reply.server_exec_s)
         return reply
 
     def handle_offload_batch(self, now_s, requests, point, batching):
@@ -150,6 +153,27 @@ class FleetResult:
     def total_requests(self) -> int:
         return sum(len(t) for t in self.timelines)
 
+    @property
+    def availability(self) -> float:
+        """Fraction of issued requests (fleet-wide) that completed."""
+        records = [r for t in self.timelines for r in t]
+        if not records:
+            return float("nan")
+        return sum(1 for r in records if r.completed) / len(records)
+
+    @property
+    def fallback_rate(self) -> float:
+        """Fraction of requests resolved by local fallback or rejection."""
+        records = [r for t in self.timelines for r in t]
+        if not records:
+            return float("nan")
+        return sum(1 for r in records if r.fell_back) / len(records)
+
+    def completed_latencies(self) -> np.ndarray:
+        """Latencies of the completed requests only (finite by construction)."""
+        records = [r for t in self.timelines for r in t if r.completed]
+        return np.array([r.total_s for r in records])
+
 
 class MultiClientSystem:
     """N user-end devices sharing one edge server over one access point."""
@@ -177,9 +201,13 @@ class MultiClientSystem:
             backend=self.config.backend,
             functional=self.config.functional,
             model_seed=self.config.seed,
+            fault_plan=self.config.server_faults,
         )
         trace = bandwidth_trace or ConstantTrace(8e6)
-        self.channel = Channel(trace, NetworkParams())
+        if self.config.faults is not None:
+            self.channel = FaultyChannel(trace, self.config.faults, NetworkParams())
+        else:
+            self.channel = Channel(trace, NetworkParams())
         self.policy = self.config.policy
         self.clients: List[UserDevice] = []
         for i in range(num_clients):
@@ -194,6 +222,7 @@ class MultiClientSystem:
                     backend=self.config.backend,
                     functional=self.config.functional,
                     model_seed=self.config.seed,
+                    resilience=self.config.resilience,
                 )
             )
         self.loop = EventLoop()
@@ -266,20 +295,75 @@ class MultiClientSystem:
         def finish(idx: int, record: InferenceRecord) -> None:
             records[idx].append(record)
             next_t = record.start_s + record.total_s + self.config.think_time_s
+            # A failed (infinite) record never schedules again: the naive
+            # client is stalled, exactly as a blocking RPC would leave it.
             if next_t < duration_s:
                 loop.schedule_at(max(next_t, loop.now), lambda: issue(idx))
 
+        def fail_offload(idx: int, pending: PendingOffload,
+                         status: str = "fallback_local") -> None:
+            """Resolve a doomed offload: local fallback or a stalled record.
+
+            Batched mode fails fast — no retries through the queue; a
+            resilient client falls back to local inference at the moment
+            its deadline fires (or immediately for a rejection).
+            """
+            in_flight[0] -= 1
+            client = self.clients[idx]
+            if client.resilience is None:
+                finish(idx, client._failed_record(
+                    pending.request_id, pending.start_s, pending.partition_point,
+                    pending.estimated_bandwidth_bps, pending.k_used,
+                    device_s=pending.device_s, upload_s=pending.upload_s,
+                    overhead_s=pending.overhead_s,
+                    device_cache_hit=pending.device_cache_hit,
+                ))
+                return
+            resolve_s = loop.now if status == "rejected" else max(
+                pending.deadline_s, loop.now)
+            assert client.breaker is not None
+            client.breaker.record_failure(resolve_s)
+
+            def resolve() -> None:
+                finish(idx, client.fallback_record(
+                    pending.request_id, pending.start_s, loop.now,
+                    timeout_s=pending.timeout_s, status=status,
+                ))
+
+            loop.schedule_at(resolve_s, resolve)
+
         def issue(idx: int) -> None:
-            pending = self.clients[idx].begin_inference(loop.now)
+            client = self.clients[idx]
+            if client.breaker is not None and not client.breaker.allow_offload(loop.now):
+                record = client.begin_inference(loop.now, force_local=True)
+                assert isinstance(record, InferenceRecord)
+                finish(idx, replace(record, status="fallback_local"))
+                return
+            pending = client.begin_inference(loop.now)
             if isinstance(pending, InferenceRecord):
                 finish(idx, pending)
                 return
             in_flight[0] += 1
+            if not pending.delivered:
+                # The upload never made it; the device notices at its
+                # deadline and falls back.
+                fail_offload(idx, pending)
+                return
             loop.schedule_at(pending.arrive_s,
                              lambda: arrive(idx, pending))
 
         def arrive(idx: int, pending) -> None:
             point = pending.partition_point
+            if not self.server.available_at(loop.now):
+                fail_offload(idx, pending)
+                return
+            sf = self.server.fault_plan
+            if (sf is not None and sf.queue_limit is not None
+                    and batcher.queue_depth(point) >= sf.queue_limit):
+                # Admission control sheds the request before it queues.
+                self.server.rejected_count += 1
+                fail_offload(idx, pending, status="rejected")
+                return
             request = PendingRequest(
                 request_id=pending.request_id,
                 enqueue_s=loop.now,
@@ -299,13 +383,35 @@ class MultiClientSystem:
             if not batch:
                 return
             replies = self.server.handle_offload_batch(loop.now, batch, point, cfg)
+            if replies is None:
+                # The server crashed between arrival and flush: the whole
+                # batch dies; each client resolves at its own deadline.
+                for request in batch:
+                    idx, pending = request.context
+                    fail_offload(idx, pending)
+                return
             # All requests leave the GPU together, one batch execution later.
             done_s = loop.now + replies[0].server_exec_s - replies[0].queue_s
             for request, reply in zip(batch, replies):
                 idx, pending = request.context
-                record = self.clients[idx].complete_inference(
-                    pending, reply, download_at_s=done_s
+                client = self.clients[idx]
+                if done_s > pending.deadline_s:
+                    # Queueing + execution overshot this request's deadline:
+                    # the device already gave up waiting.
+                    fail_offload(idx, pending)
+                    continue
+                budget = None
+                if client.resilience is not None:
+                    budget = pending.deadline_s - done_s
+                record = client.complete_inference(
+                    pending, reply, download_at_s=done_s,
+                    download_timeout_s=budget,
                 )
+                if record.status == "failed" and client.resilience is not None:
+                    fail_offload(idx, pending)
+                    continue
+                if client.breaker is not None and record.status != "failed":
+                    client.breaker.record_success(done_s)
                 in_flight[0] -= 1
                 finish(idx, record)
 

@@ -1,0 +1,131 @@
+"""Client-side resilience: deadlines, retries, circuit breaking.
+
+The paper's runtime assumes the offload path always answers — a slow
+server shows up in ``k``, a slow link in the bandwidth estimate, but a
+*dead* one would block the device forever.  This module holds the policy
+knobs and the circuit-breaker state machine that let
+:class:`~repro.runtime.client.UserDevice` degrade gracefully instead:
+
+- **Deadline** — each offload attempt gets ``deadline_margin ×`` the
+  engine's own predicted end-to-end latency for the chosen partition point
+  (Algorithm 1's objective value).  The prediction the device already
+  computes is exactly the right yardstick: a request that overshoots its
+  own prediction several-fold is lost, not slow.
+- **Retry with exponential backoff + jitter** — a failed attempt is
+  retried at the *re-decided* partition point (bandwidth and ``k`` may
+  have changed — indeed the failure itself fed the bandwidth estimator),
+  with a budget so latency stays bounded.
+- **Circuit breaker** — after ``failure_threshold`` consecutive failures
+  the breaker opens and the device pins ``point = n`` (full local
+  inference).  The paper's §IV profiler tick doubles as the half-open
+  health probe: once ``cooldown_s`` has elapsed, a successful probe +
+  load query closes the breaker and offloading resumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the resilient offload path (None on the device = legacy)."""
+
+    deadline_margin: float = 3.0      # timeout = margin x predicted total latency
+    min_timeout_s: float = 0.05       # floor, so tiny predictions don't flap
+    max_retries: int = 2              # offload attempts beyond the first
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5       # +/- uniform fraction of the delay
+    failure_threshold: int = 3        # consecutive failures that open the breaker
+    cooldown_s: float = 20.0          # open time before a probe may close it
+    probe_timeout_s: float = 1.0      # deadline on the profiler's health probe
+    k_ttl_s: float = 30.0             # load factor older than this is ignored
+    bandwidth_window_s: float = 30.0  # age bound on bandwidth samples
+
+    def __post_init__(self) -> None:
+        if self.deadline_margin <= 0:
+            raise ValueError("deadline_margin must be positive")
+        if self.min_timeout_s <= 0:
+            raise ValueError("min_timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_base_s >= 0 and backoff_factor >= 1 required")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s < 0 or self.probe_timeout_s <= 0:
+            raise ValueError("cooldown_s >= 0 and probe_timeout_s > 0 required")
+        if self.k_ttl_s <= 0 or self.bandwidth_window_s <= 0:
+            raise ValueError("k_ttl_s and bandwidth_window_s must be positive")
+
+    def timeout_for(self, predicted_total_s: float) -> float:
+        """Per-attempt deadline from the engine's own latency prediction."""
+        if not math.isfinite(predicted_total_s) or predicted_total_s <= 0:
+            return self.min_timeout_s
+        return max(self.deadline_margin * predicted_total_s, self.min_timeout_s)
+
+    def backoff_s(self, attempt: int, unit_jitter: float) -> float:
+        """Delay before retry ``attempt`` (1-based); ``unit_jitter`` in [0, 1)."""
+        base = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.backoff_jitter * (2.0 * unit_jitter - 1.0))
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker guarding the offload path.
+
+    Closed: offloading allowed.  Open: every decision is forced to
+    ``point = n`` (full local).  Half-open is *probe-driven*, not
+    request-driven — after ``cooldown_s`` the periodic profiler tick
+    (§IV) tests the path, and only its success closes the breaker, so
+    user requests never pay to rediscover a dead server.
+    """
+
+    def __init__(self, failure_threshold: int, cooldown_s: float) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._consecutive_failures = 0
+        self._opened_at_s: float | None = None
+        #: Counters for observability.
+        self.open_count = 0
+        self.failure_count = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self._opened_at_s is not None
+
+    def allow_offload(self, now_s: float) -> bool:
+        """May a user request take the offload path right now?"""
+        del now_s  # requests never half-open the breaker; probes do
+        return self._opened_at_s is None
+
+    def probe_may_close(self, now_s: float) -> bool:
+        """Has the cooldown elapsed, so a successful probe closes the breaker?"""
+        return (self._opened_at_s is not None
+                and now_s - self._opened_at_s >= self.cooldown_s)
+
+    def record_failure(self, now_s: float) -> None:
+        self.failure_count += 1
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            if self._opened_at_s is None:
+                self.open_count += 1
+            # (Re)open: every further failure restarts the cooldown clock.
+            self._opened_at_s = now_s
+
+    def record_success(self, now_s: float) -> None:
+        """A successful offload, or a successful probe after the cooldown."""
+        if self._opened_at_s is not None and not self.probe_may_close(now_s):
+            # Within the cooldown the breaker stays open (flap damping);
+            # the success still clears the consecutive-failure streak.
+            self._consecutive_failures = 0
+            return
+        self._consecutive_failures = 0
+        self._opened_at_s = None

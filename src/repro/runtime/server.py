@@ -4,11 +4,19 @@ Executes offloaded tail segments on the (contended) GPU, maintains the
 influential factor ``k`` via :class:`~repro.core.load_factor.LoadFactorMonitor`,
 runs the GPU-utilisation watchdog, and keeps a partition cache so repeated
 partition points skip graph surgery (§III-A, §IV).
+
+With a :class:`~repro.network.faults.ServerFaultPlan` the server can also
+*break*: during a crash window every handler returns ``None`` (no reply —
+the client's deadline is its only recourse), the first request after the
+window hits a freshly restarted process (partition cache and load-factor
+window wiped), and admission control bounds the accepted offload rate,
+shedding excess load with :class:`~repro.runtime.messages.BusyReply`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +27,7 @@ from repro.graph.partitioner import GraphPartitioner
 from repro.hardware.background import IDLE, LoadSchedule
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.gpu_scheduler import GpuScheduler
+from repro.network.faults import ServerFaultPlan
 from repro.nn.executor import (
     SegmentExecutor,
     _check_backend,
@@ -26,7 +35,7 @@ from repro.nn.executor import (
     init_parameters,
 )
 from repro.runtime.batching import BatchingConfig, PendingRequest
-from repro.runtime.messages import LoadReply, OffloadReply
+from repro.runtime.messages import BusyReply, LoadReply, OffloadReply
 
 #: Cost of partitioning the graph + preparing the runtime on a cache miss.
 #: The paper reports the amortised overhead is ~1% of inference time over
@@ -50,6 +59,7 @@ class EdgeServer:
         backend: str = "naive",
         functional: bool = False,
         model_seed: int = 0,
+        fault_plan: ServerFaultPlan | None = None,
     ) -> None:
         self.engine = engine
         self.load_schedule = load_schedule or LoadSchedule([(0.0, IDLE)])
@@ -60,6 +70,10 @@ class EdgeServer:
         self.cache = PartitionCache(GraphPartitioner(engine.graph))
         self._rng = np.random.default_rng(seed)
         self.offload_count = 0
+        self.fault_plan = fault_plan
+        self._restarts_seen = 0
+        self.rejected_count = 0
+        self._admitted: Deque[float] = deque()
         self.backend = _check_backend(backend)
         self.functional = functional
         self._model_seed = model_seed
@@ -131,16 +145,65 @@ class EdgeServer:
             for i in range(b)
         ]
 
+    # -- fault model ----------------------------------------------------------
+
+    def available_at(self, now_s: float) -> bool:
+        """Is the server process alive (not inside a crash window)?"""
+        return self.fault_plan is None or not self.fault_plan.is_down(now_s)
+
+    def _maybe_restart(self, now_s: float) -> None:
+        """Wipe crash-volatile state when a crash window has elapsed.
+
+        A restarted server has no partition cache (graph surgery redone on
+        demand — the next request pays ``PARTITION_OVERHEAD_S`` again) and
+        an empty load-factor window (``k`` restarts at 1 and must re-learn
+        the load).  Model parameters reload from the preloaded file
+        (§III-A), so functional outputs are unchanged.
+        """
+        if self.fault_plan is None:
+            return
+        restarts = self.fault_plan.restarts_before(now_s)
+        if restarts > self._restarts_seen:
+            self._restarts_seen = restarts
+            self.cache.clear()
+            self.monitor.reset()
+            self._admitted.clear()
+
+    def _admit(self, now_s: float, request_id: int) -> BusyReply | None:
+        """Admission control: bounded accept rate, or a BusyReply."""
+        plan = self.fault_plan
+        if plan is None or plan.queue_limit is None:
+            return None
+        while self._admitted and self._admitted[0] < now_s - plan.admission_window_s:
+            self._admitted.popleft()
+        if len(self._admitted) >= plan.queue_limit:
+            self.rejected_count += 1
+            return BusyReply(request_id=request_id, retry_after_s=plan.retry_after_s)
+        self._admitted.append(now_s)
+        return None
+
     # -- request path ---------------------------------------------------------
 
     def handle_offload(self, now_s: float, request_id: int, point: int,
-                       tensors: Dict[str, np.ndarray] | None = None) -> OffloadReply:
+                       tensors: Dict[str, np.ndarray] | None = None,
+                       ) -> OffloadReply | BusyReply | None:
         """Execute the tail of partition ``point`` arriving at ``now_s``.
 
         When the server runs in functional mode and the device uploaded real
         boundary ``tensors``, the tail segment is actually executed and its
         outputs travel back on the reply; simulated timing is unaffected.
+
+        Without a fault plan the return is always an :class:`OffloadReply`.
+        With one, a crashed server returns ``None`` (no reply ever comes —
+        the caller's deadline is its only recourse) and an overloaded one
+        returns a :class:`BusyReply` instead of queueing without bound.
         """
+        if not self.available_at(now_s):
+            return None
+        self._maybe_restart(now_s)
+        busy = self._admit(now_s, request_id)
+        if busy is not None:
+            return busy
         cache_hit = point in self.cache
         partitioned = self.cache.get(point)
         overhead = 0.0 if cache_hit else PARTITION_OVERHEAD_S
@@ -177,7 +240,7 @@ class EdgeServer:
         requests: Sequence[PendingRequest],
         point: int,
         batching: BatchingConfig,
-    ) -> List[OffloadReply]:
+    ) -> List[OffloadReply] | None:
         """Execute one batched tail flush for ``requests`` at ``now_s``.
 
         The batch is padded up to the nearest ladder rung and runs once on
@@ -190,6 +253,9 @@ class EdgeServer:
         """
         if not requests:
             return []
+        if not self.available_at(now_s):
+            return None
+        self._maybe_restart(now_s)
         cache_hit = point in self.cache
         partitioned = self.cache.get(point)
         overhead = 0.0 if cache_hit else PARTITION_OVERHEAD_S
@@ -235,8 +301,15 @@ class EdgeServer:
 
     # -- profiler path -----------------------------------------------------------
 
-    def handle_load_query(self, now_s: float) -> LoadReply:
-        """The device profiler asks for the current load factor (§IV)."""
+    def handle_load_query(self, now_s: float) -> LoadReply | None:
+        """The device profiler asks for the current load factor (§IV).
+
+        Returns ``None`` when the server is inside a crash window (the
+        query, like any other message, gets no reply).
+        """
+        if not self.available_at(now_s):
+            return None
+        self._maybe_restart(now_s)
         k = self.monitor.refresh(now_s)
         return LoadReply(k=k, gpu_utilization=self.gpu_utilization(now_s))
 

@@ -9,8 +9,8 @@ material of the Fig. 6/7/8/9 experiments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List
+from dataclasses import dataclass
+from typing import Callable, List
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from repro.core.baselines import FullOffloadStrategy, LocalStrategy, Neurosurgeo
 from repro.core.engine import LoADPartEngine
 from repro.hardware.background import IDLE, LoadSchedule
 from repro.network.channel import Channel, NetworkParams
+from repro.network.faults import FaultPlan, FaultyChannel, ServerFaultPlan
 from repro.network.traces import BandwidthTrace, ConstantTrace
 from repro.nn.executor import BACKENDS
 from repro.profiling.predictor import LatencyPredictor
@@ -25,6 +26,7 @@ from repro.runtime.batching import BatchingConfig
 from repro.runtime.client import UserDevice
 from repro.runtime.events import EventLoop
 from repro.runtime.messages import InferenceRecord
+from repro.runtime.resilience import ResilienceConfig
 from repro.runtime.server import EdgeServer
 
 POLICIES = ("loadpart", "neurosurgeon", "local", "full")
@@ -46,6 +48,13 @@ class SystemConfig:
     #: Opt-in dynamic batching of concurrent offloads (multi-client only);
     #: None keeps the one-request-at-a-time behaviour of the paper.
     batching: BatchingConfig | None = None
+    #: Opt-in fault injection on the channel (drops, outages, spikes).
+    faults: FaultPlan | None = None
+    #: Opt-in server fault model (crash windows, admission control).
+    server_faults: ServerFaultPlan | None = None
+    #: Opt-in resilient client (deadlines, retries, circuit breaker,
+    #: local fallback).  None keeps the paper's trusting offload path.
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -54,6 +63,14 @@ class SystemConfig:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.batching is not None and not isinstance(self.batching, BatchingConfig):
             raise ValueError("batching must be a BatchingConfig or None")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError("faults must be a FaultPlan or None")
+        if (self.server_faults is not None
+                and not isinstance(self.server_faults, ServerFaultPlan)):
+            raise ValueError("server_faults must be a ServerFaultPlan or None")
+        if (self.resilience is not None
+                and not isinstance(self.resilience, ResilienceConfig)):
+            raise ValueError("resilience must be a ResilienceConfig or None")
 
 
 class Timeline:
@@ -93,6 +110,31 @@ class Timeline:
     def between(self, start_s: float, end_s: float) -> "Timeline":
         return Timeline([r for r in self.records if start_s <= r.start_s < end_s])
 
+    # -- resilience summaries ------------------------------------------------
+
+    @property
+    def completed(self) -> "Timeline":
+        """Only the requests that produced an answer (finite latency)."""
+        return Timeline([r for r in self.records if r.completed])
+
+    def availability(self) -> float:
+        """Fraction of issued requests that completed."""
+        if not self.records:
+            return float("nan")
+        return sum(1 for r in self.records if r.completed) / len(self.records)
+
+    def fallback_rate(self) -> float:
+        """Fraction of issued requests resolved by local fallback/rejection."""
+        if not self.records:
+            return float("nan")
+        return sum(1 for r in self.records if r.fell_back) / len(self.records)
+
+    def retry_rate(self) -> float:
+        """Mean number of retries per issued request."""
+        if not self.records:
+            return float("nan")
+        return sum(r.retries for r in self.records) / len(self.records)
+
 
 class OffloadingSystem:
     """One device + one server + one link, runnable as a simulation."""
@@ -112,7 +154,10 @@ class OffloadingSystem:
             )
         self.engine = engine
         trace = bandwidth_trace or ConstantTrace(8e6)
-        self.channel = Channel(trace, network_params)
+        if self.config.faults is not None:
+            self.channel = FaultyChannel(trace, self.config.faults, network_params)
+        else:
+            self.channel = Channel(trace, network_params)
         self.server = EdgeServer(
             engine,
             load_schedule=load_schedule or LoadSchedule([(0.0, IDLE)]),
@@ -123,6 +168,7 @@ class OffloadingSystem:
             backend=self.config.backend,
             functional=self.config.functional,
             model_seed=self.config.seed,
+            fault_plan=self.config.server_faults,
         )
         policy = self._make_policy(self.config.policy, engine)
         self.device = UserDevice(
@@ -134,6 +180,7 @@ class OffloadingSystem:
             backend=self.config.backend,
             functional=self.config.functional,
             model_seed=self.config.seed,
+            resilience=self.config.resilience,
         )
         self.loop = EventLoop()
 

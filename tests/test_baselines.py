@@ -12,7 +12,6 @@ from repro.core.baselines import (
     dads_min_cut,
 )
 from repro.graph.builder import GraphBuilder
-from repro.models import build_model
 
 
 class TestNeurosurgeon:

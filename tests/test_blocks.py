@@ -1,6 +1,5 @@
 """Block analysis (§III-D): candidate reduction and the InceptionV3 claim."""
 
-import pytest
 
 from repro.core.blocks import block_cut_report, candidate_points
 from repro.models import build_model

@@ -1,6 +1,5 @@
 """LoADPartEngine: prediction plumbing and decision consistency."""
 
-import numpy as np
 import pytest
 
 from repro.core.engine import LoADPartEngine

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.hardware.background import IDLE, LOAD_LEVELS, U100H, U100L, U30, U90
+from repro.hardware.background import IDLE, U100H, U100L, U30, U90
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.gpu_scheduler import GpuScheduler
 from repro.models import build_model

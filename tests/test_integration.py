@@ -1,11 +1,10 @@
 """Cross-module integration and failure-injection scenarios."""
 
 import numpy as np
-import pytest
 
 from repro.core.engine import LoADPartEngine
 from repro.graph.serialize import graph_from_json, graph_to_json
-from repro.hardware.background import IDLE, U100H, LoadSchedule
+from repro.hardware.background import U100H, LoadSchedule
 from repro.models import build_model
 from repro.network.traces import ConstantTrace, RandomWalkTrace, StepTrace
 from repro.profiling.predictor import LatencyPredictor

@@ -1,6 +1,5 @@
 """Multi-client fleet extension: shared server, endogenous load."""
 
-import numpy as np
 import pytest
 
 from repro.runtime.multi import (

@@ -147,12 +147,21 @@ class TestEstimator:
         assert est.next_probe_bytes() == 1000
 
     def test_invalid_inputs(self):
-        est = BandwidthEstimator()
-        with pytest.raises(ValueError):
-            est.add_probe(0.0, 0, 1.0)
-        with pytest.raises(ValueError):
-            est.add_passive(0.0, 100, 0.0)
         with pytest.raises(ValueError):
             BandwidthEstimator(window_size=0)
         with pytest.raises(ValueError):
             BandwidthEstimator(initial_estimate_bps=0)
+        with pytest.raises(ValueError):
+            BandwidthEstimator(window_s=0.0)
+
+    def test_degenerate_samples_ignored(self):
+        # Zero-byte or zero-duration measurements come from aborted
+        # transfers; they must not poison the estimator or crash it.
+        est = BandwidthEstimator()
+        est.add_probe(0.0, 0, 1.0)
+        est.add_passive(0.0, 100, 0.0)
+        est.add_passive(0.0, 100, float("inf"))
+        assert est.sample_count == 0
+        est.add_probe(0.0, 100_000, 0.1)
+        assert est.sample_count == 1
+        assert est.estimate() == pytest.approx(8e6)

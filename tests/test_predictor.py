@@ -6,7 +6,6 @@ import pytest
 from repro.graph.ops import CATEGORIES
 from repro.profiling.features import profile_graph
 from repro.profiling.predictor import LatencyPredictor
-from repro.profiling.regression import NNLSModel
 
 
 class TestConstruction:

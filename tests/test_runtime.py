@@ -3,9 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.engine import LoADPartEngine
 from repro.hardware.background import IDLE, U100H, LoadSchedule, fig9_schedule
-from repro.models import build_model
 from repro.network.channel import Channel
 from repro.network.traces import ConstantTrace, StepTrace
 from repro.runtime.client import UserDevice

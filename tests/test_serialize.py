@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.graph.serialize import graph_from_json, graph_to_json
-from repro.models import build_model, list_models
+from repro.models import build_model
 
 
 class TestRoundTrip:

@@ -1,20 +1,23 @@
-"""Compare two ``BENCH_executor.json`` reports and gate on regressions.
+"""Compare two benchmark reports and gate on regressions.
 
 Intended as the perf check between a baseline run (e.g. from the main
 branch) and a candidate run::
 
     python tools/bench_compare.py baseline.json candidate.json
 
-Exits non-zero when the candidate's planned backend regresses by more than
-the threshold (default 15%) on any model present in both reports.  Speedups
-and naive-side drift are reported but never fail the check — the planned
-backend is the optimised artefact this gate protects.
+Exits non-zero when the candidate regresses by more than the threshold
+(default 15%) on any entry present in both reports.
 
-``--metric planned_ms`` (the default) gates on absolute planned-backend
-milliseconds — right when both reports come from the same host.
-``--metric speedup`` gates on the naive/planned speedup ratio instead,
-which cancels host speed and is the right choice when the baseline report
-was committed from a different machine (e.g. in CI).
+For ``BENCH_executor.json`` reports, ``--metric planned_ms`` (the default)
+gates on absolute planned-backend milliseconds — right when both reports
+come from the same host.  ``--metric speedup`` gates on the naive/planned
+speedup ratio instead, which cancels host speed and is the right choice
+when the baseline report was committed from a different machine (e.g. CI).
+
+``BENCH_resilience.json`` reports are detected automatically and gated on
+the resilient arm's **availability** (fractional drop vs baseline) and
+**fallback rate** (absolute increase) per fault scenario — host speed
+plays no role in either, so they compare cleanly across machines.
 """
 
 from __future__ import annotations
@@ -36,8 +39,43 @@ def load(path: pathlib.Path) -> dict:
     except json.JSONDecodeError as exc:
         raise SystemExit(f"{path}: not valid JSON ({exc})")
     if "results" not in report:
-        raise SystemExit(f"{path}: not a BENCH_executor.json report (no 'results')")
+        raise SystemExit(f"{path}: not a benchmark report (no 'results')")
     return report
+
+
+def compare_resilience(baseline: dict, candidate: dict,
+                       threshold: float) -> list[str]:
+    """Gate the resilient arm's availability and fallback rate per scenario."""
+    regressions: list[str] = []
+    base = {r["scenario"]: r["arms"]["resilient"] for r in baseline["results"]}
+    cand = {r["scenario"]: r["arms"]["resilient"] for r in candidate["results"]}
+    common = sorted(set(base) & set(cand))
+    if not common:
+        raise SystemExit("reports share no scenarios; nothing to compare")
+    for name in common:
+        b_avail, c_avail = base[name]["availability"], cand[name]["availability"]
+        b_fb, c_fb = base[name]["fallback_rate"], cand[name]["fallback_rate"]
+        # Availability drops fractionally; fallback rate (already a
+        # fraction of requests) is compared as an absolute increase.
+        avail_loss = 1.0 - c_avail / b_avail if b_avail else 0.0
+        fb_gain = c_fb - b_fb
+        marker = ""
+        if avail_loss > threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: availability {b_avail:.3f} -> {c_avail:.3f} "
+                f"({avail_loss * 100:+.1f}% > {threshold * 100:.0f}%)")
+        if fb_gain > threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: fallback rate {b_fb:.3f} -> {c_fb:.3f} "
+                f"(+{fb_gain:.3f} > {threshold:.2f})")
+        print(f"{name:13s} avail {b_avail:.3f} -> {c_avail:.3f}  "
+              f"fallback {b_fb:.3f} -> {c_fb:.3f}{marker}")
+    only = sorted(set(base) ^ set(cand))
+    if only:
+        print(f"(not compared, present in one report only: {', '.join(only)})")
+    return regressions
 
 
 def compare(baseline: dict, candidate: dict, threshold: float,
@@ -89,14 +127,22 @@ def main(argv=None) -> int:
                              "or on the naive/planned speedup (cross-host)")
     args = parser.parse_args(argv)
 
-    regressions = compare(load(args.baseline), load(args.candidate),
-                          args.threshold, metric=args.metric)
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    if baseline.get("benchmark") == "resilience":
+        if candidate.get("benchmark") != "resilience":
+            raise SystemExit("cannot compare a resilience report against "
+                             "a different benchmark type")
+        regressions = compare_resilience(baseline, candidate, args.threshold)
+    else:
+        regressions = compare(baseline, candidate,
+                              args.threshold, metric=args.metric)
     if regressions:
-        print("\nplanned-backend regressions over threshold:", file=sys.stderr)
+        print("\nregressions over threshold:", file=sys.stderr)
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("\nno planned-backend regressions over threshold")
+    print("\nno regressions over threshold")
     return 0
 
 

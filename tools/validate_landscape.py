@@ -1,5 +1,4 @@
 """End-to-end validation: true vs predicted decision landscapes."""
-import numpy as np
 
 from repro.core import LoADPartEngine
 from repro.hardware import DeviceModel, GpuModel, GpuScheduler, LOAD_LEVELS
