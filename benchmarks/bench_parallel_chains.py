@@ -1,0 +1,165 @@
+"""Branch-parallel plan execution benchmark: serial vs chain-parallel.
+
+Times repeated whole-graph inference on the branchy model families
+(Inception, SqueezeNet, ResNet — graphs whose compiled step lists slice
+into many independent chains) with the serial planned backend and with
+``ParallelConfig(threads=N)``, verifies the parallel output is
+bit-identical to both the serial plan and the naive oracle, and writes
+``BENCH_parallel.json``.
+
+Serial backbones (AlexNet, MobileNet) ride along as **no-regression
+controls**: they compile to a single chain, so the parallel config must
+not slow them down.
+
+The reported statistic is the **minimum** over repetitions, as in the
+other benchmarks: the minimum is the stable estimate of code cost on
+shared hosts.  The report records ``host.cpus`` because chain
+parallelism physically cannot pay off on a single-core host —
+``tools/bench_compare.py`` only enforces the branchy speedup floor when
+the candidate ran with two or more cores.  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_chains.py --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+#: Families whose graphs slice into many chains (fire modules, residual
+#: blocks, inception branches) — the targets of the speedup floor.
+BRANCHY = {
+    "Inception": "inception_v3",
+    "SqueezeNet": "squeezenet",
+    "ResNet": "resnet18",
+}
+
+#: Single-chain backbones: the parallel config must not regress these.
+CONTROLS = {
+    "AlexNet": "alexnet",
+    "MobileNet": "mobilenet_v1",
+}
+
+DEFAULT_OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+
+def _default_threads() -> int:
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def _time_runs(run, x, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_model(model_name: str, role: str, threads: int, repeats: int,
+                seed: int = 0) -> dict:
+    from repro.models import build_model
+    from repro.nn import GraphExecutor
+    from repro.nn.executor import init_parameters
+    from repro.nn.parallel import ParallelConfig
+    from repro.nn.plan import GraphPlan
+
+    graph = build_model(model_name)
+    params = init_parameters((graph.node(n) for n in graph.topological_order()), seed)
+    serial = GraphPlan(graph, seed=seed, params=params)
+    parallel = GraphPlan(graph, seed=seed, params=params,
+                         parallel=ParallelConfig(threads=threads))
+    naive = GraphExecutor(graph, seed=seed, params=params)
+    x = np.random.default_rng(1).standard_normal(graph.input_spec.shape).astype(np.float32)
+
+    ref = naive.run(x)
+    serial_out = serial.run(x)
+    parallel_out = parallel.run(x)
+    bit_identical = bool(
+        np.array_equal(ref, serial_out)
+        and serial_out.tobytes() == parallel_out.tobytes()
+        and parallel_out.tobytes() == parallel.run(x).tobytes()
+    )
+
+    serial_s = _time_runs(serial.run, x, repeats)
+    parallel_s = _time_runs(parallel.run, x, repeats)
+    stats = parallel.stats
+    return {
+        "model": model_name,
+        "role": role,
+        "serial_ms": round(serial_s * 1e3, 3),
+        "parallel_ms": round(parallel_s * 1e3, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "bit_identical": bit_identical,
+        "chains": stats.chains,
+        "pinned_buffers": stats.pinned_buffers,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per mode (min is reported)")
+    parser.add_argument("--threads", type=int, default=_default_threads(),
+                        help="chain-executor pool size (default: host-derived)")
+    parser.add_argument("--models", nargs="*", default=None,
+                        help="family or builder names (default: all)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    roles = {**{f: ("branchy", m) for f, m in BRANCHY.items()},
+             **{f: ("serial_control", m) for f, m in CONTROLS.items()}}
+    if args.models:
+        by_lower = {f.lower(): f for f in roles}
+        by_model = {m.lower(): f for f, (_, m) in roles.items()}
+        targets = {}
+        for name in args.models:
+            family = by_lower.get(name.lower()) or by_model.get(name.lower())
+            if family is None:
+                parser.error(f"unknown model {name!r} "
+                             f"(choose from {sorted(roles)})")
+            targets[family] = roles[family]
+    else:
+        targets = roles
+
+    results = {}
+    for family, (role, model_name) in targets.items():
+        entry = bench_model(model_name, role, args.threads, args.repeats)
+        results[family] = entry
+        print(f"{family:12s} ({model_name}, {role}): "
+              f"serial {entry['serial_ms']:9.1f} ms  "
+              f"parallel {entry['parallel_ms']:9.1f} ms  "
+              f"speedup {entry['speedup']:.2f}x  chains {entry['chains']:3d}  "
+              f"bit_identical={entry['bit_identical']}")
+
+    branchy = [e["speedup"] for e in results.values() if e["role"] == "branchy"]
+    report = {
+        "benchmark": "parallel_chains",
+        "statistic": "min",
+        "repeats": args.repeats,
+        "threads": args.threads,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "branchy_max_speedup": round(max(branchy), 3) if branchy else None,
+        "all_bit_identical": all(e["bit_identical"] for e in results.values()),
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    best = report["branchy_max_speedup"]
+    print(f"\nbest branchy speedup {best:.2f}x on {os.cpu_count()} cpu(s) "
+          f"-> {args.output}" if best is not None else f"\n-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,8 +29,5 @@ def save_report(results_dir):
     return _save
 
 
-@pytest.fixture(scope="session")
-def trained_report():
-    from repro.experiments.context import default_report
-
-    return default_report()
+# ``trained_report`` and the engine fixtures come from the repository-root
+# conftest.py, shared with tests/ (one cached profiler run per process).

@@ -9,13 +9,21 @@ amortises to ~1% of inference time over ~100 requests.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.graph.partitioner import GraphPartitioner, PartitionedGraph
 
 
 class PartitionCache:
-    """LRU cache: partition point -> :class:`PartitionedGraph`."""
+    """LRU cache: partition point -> :class:`PartitionedGraph`.
+
+    Thread-safe: the batching event loop and branch-parallel plan chains
+    can look up partitions concurrently, and an ``OrderedDict`` mid
+    ``move_to_end``/``popitem`` must never be observed torn.  Partitioning
+    the same point twice under a race is harmless (the result is
+    deterministic), so the lock only guards the bookkeeping.
+    """
 
     def __init__(self, partitioner: GraphPartitioner, capacity: int = 32) -> None:
         if capacity < 1:
@@ -23,34 +31,40 @@ class PartitionCache:
         self._partitioner = partitioner
         self._capacity = capacity
         self._entries: "OrderedDict[int, PartitionedGraph]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, point: int) -> PartitionedGraph:
         """Fetch the partition for ``point``, building it on a miss."""
-        if point in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(point)
-            return self._entries[point]
-        self.misses += 1
-        partitioned = self._partitioner.partition(point)
-        self._entries[point] = partitioned
-        if len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
-        return partitioned
+        with self._lock:
+            if point in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(point)
+                return self._entries[point]
+            self.misses += 1
+            partitioned = self._partitioner.partition(point)
+            self._entries[point] = partitioned
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+            return partitioned
 
     def __contains__(self, point: int) -> bool:
-        return point in self._entries
+        with self._lock:
+            return point in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0

@@ -1,0 +1,277 @@
+"""Branch-parallel plan execution: chains, thread pools, compile-once caches.
+
+Branchy backbones (Inception modules, SqueezeNet fire modules, ResNet
+residual blocks) contain DAG branches that are mutually independent between
+join points.  The plan compiler (:mod:`repro.nn.plan`) slices its compiled
+step list into such *chains* using the same dependency analysis that drives
+its liveness pass; this module supplies the execution side:
+
+- :class:`ParallelConfig` — the user-facing knob
+  (``SystemConfig(parallelism=ParallelConfig(threads=...))``);
+- :class:`ParallelPlanRunner` — runs ready chains on a persistent,
+  process-shared :class:`~concurrent.futures.ThreadPoolExecutor`;
+- :class:`CompileOnceCache` — a thread-safe build-once cache for compiled
+  executors (the server's tail-plan cache is raced by parallel chains and
+  the batching event loop).
+
+Threads — not processes — are the right tool here because the hot kernels
+(im2col copies into preallocated scratch, and above all the per-sample
+GEMMs/GEMVs) release the GIL inside BLAS, so independent chains genuinely
+overlap on multicore hosts while sharing one address space (the plan's
+workspace arena, weights, and padded staging buffers need no pickling or
+duplication).
+
+Bit-identity is preserved by construction: chain slicing never changes
+*what* a step computes or the order of steps *within* a chain — only the
+interleaving of steps across independent chains, and no step reads a
+tensor produced by a concurrently runnable chain (that is exactly the
+dependency cut the slicer makes).  The arena gives concurrently live
+intermediates chain-private regions, so no two simultaneously running
+steps ever share scratch storage.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Sequence, Set, TypeVar
+
+__all__ = [
+    "PARALLEL_THREADS_ENV",
+    "CompileOnceCache",
+    "ParallelConfig",
+    "ParallelPlanRunner",
+    "default_parallelism",
+    "shared_pool",
+]
+
+#: Environment switch: default thread count for planned executors that were
+#: not given an explicit :class:`ParallelConfig` (used by CI to push the
+#: whole tier-1 suite through the branch-parallel path).
+PARALLEL_THREADS_ENV = "REPRO_PARALLEL_THREADS"
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Opt-in branch-parallel execution of compiled plans.
+
+    ``threads`` is the worker count of the shared chain pool.  ``threads=1``
+    keeps execution on the calling thread (chain slicing still happens and
+    is observable in :class:`~repro.nn.plan.PlanStats`, but scheduling is
+    serial) — useful as the control arm of differential tests.
+    """
+
+    threads: int = 2
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+
+
+def default_parallelism() -> ParallelConfig | None:
+    """The :envvar:`REPRO_PARALLEL_THREADS` default, or None when unset."""
+    raw = os.environ.get(PARALLEL_THREADS_ENV, "")
+    if raw in ("", "0"):
+        return None
+    try:
+        threads = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{PARALLEL_THREADS_ENV} must be an integer, got {raw!r}"
+        ) from None
+    return ParallelConfig(threads=threads)
+
+
+# ---------------------------------------------------------------------------
+# persistent thread pools
+# ---------------------------------------------------------------------------
+
+_POOLS: Dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def shared_pool(threads: int) -> ThreadPoolExecutor:
+    """The process-wide chain pool for ``threads`` workers.
+
+    Pools are persistent (created once, reused by every plan compiled with
+    the same thread count) so repeated ``run`` calls never pay thread
+    startup, and a fleet of executors does not multiply OS threads.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    with _POOLS_LOCK:
+        pool = _POOLS.get(threads)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=threads, thread_name_prefix=f"repro-chains-{threads}"
+            )
+            _POOLS[threads] = pool
+        return pool
+
+
+# ---------------------------------------------------------------------------
+# the chain runner
+# ---------------------------------------------------------------------------
+
+
+class ParallelPlanRunner:
+    """Executes a plan's chains on the shared pool, respecting chain deps.
+
+    ``chains`` is a list of step sequences (zero-arg callables, already
+    bound over their buffers); ``chain_deps[c]`` names the chains that must
+    finish before chain ``c`` may start.  One ``run()`` call schedules every
+    dependency-free chain immediately and releases successors as their
+    predecessors complete; it returns when all chains have finished.
+
+    A runner instance belongs to one plan and must not be entered
+    concurrently — the plan's workspace is single-occupancy (callers hold
+    the plan's execution lock).  Plans must also not nest parallel plans
+    inside chain steps: the pool is shared, and nesting could exhaust it.
+    """
+
+    def __init__(self, chains: Sequence[Sequence[Callable[[], None]]],
+                 chain_deps: Sequence[Set[int]], threads: int) -> None:
+        if len(chain_deps) != len(chains):
+            raise ValueError("chain_deps must match chains one-to-one")
+        self._chains = [list(steps) for steps in chains]
+        self._deps = [frozenset(d) for d in chain_deps]
+        for c, deps in enumerate(self._deps):
+            bad = [d for d in deps if not 0 <= d < len(chains) or d == c]
+            if bad:
+                raise ValueError(f"chain {c} has invalid dependencies {bad}")
+        self._succs: List[List[int]] = [[] for _ in chains]
+        for c, deps in enumerate(self._deps):
+            for d in deps:
+                self._succs[d].append(c)
+        self.threads = threads
+        self._pool = shared_pool(threads)
+
+    def run(self) -> None:
+        """Run every chain once; raises the first chain failure, if any."""
+        n = len(self._chains)
+        if n == 0:
+            return
+        remaining = [len(d) for d in self._deps]
+        lock = threading.Lock()
+        all_done = threading.Event()
+        state = {"left": n, "error": None, "futures": []}
+
+        def submit(c: int) -> None:
+            with lock:
+                if state["error"] is not None:
+                    return
+                state["futures"].append(self._pool.submit(run_chain, c))
+
+        def run_chain(c: int) -> None:
+            try:
+                for fn in self._chains[c]:
+                    fn()
+            except BaseException as exc:  # propagate to the caller
+                with lock:
+                    if state["error"] is None:
+                        state["error"] = exc
+                all_done.set()
+                return
+            ready = []
+            with lock:
+                state["left"] -= 1
+                for s in self._succs[c]:
+                    remaining[s] -= 1
+                    if remaining[s] == 0:
+                        ready.append(s)
+                if state["left"] == 0:
+                    all_done.set()
+            for s in ready:
+                submit(s)
+
+        for c in range(n):
+            if remaining[c] == 0:
+                submit(c)
+        all_done.wait()
+        if state["error"] is not None:
+            # Let in-flight chains drain before handing the (now possibly
+            # inconsistent) workspace back — a later run recompiles nothing
+            # but must not race stragglers.
+            with lock:
+                futures = list(state["futures"])
+            for fut in futures:
+                fut.exception()
+            raise state["error"]
+
+
+# ---------------------------------------------------------------------------
+# thread-safe compile-once cache
+# ---------------------------------------------------------------------------
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class _Cell:
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class CompileOnceCache:
+    """Keyed build-once cache safe under concurrent lookups.
+
+    Exactly one caller per key runs the factory; every other caller blocks
+    until the build finishes and then shares the same object (torn state is
+    impossible: the key is published before the build, the value only
+    after).  A failed build propagates its exception to all waiters and
+    evicts the key so a later call may retry.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._cells: Dict[Hashable, _Cell] = {}
+        self.builds = 0
+        self.hits = 0
+
+    def get_or_create(self, key: K, factory: Callable[[], V]) -> V:
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = _Cell()
+                self._cells[key] = cell
+                builder = True
+                self.builds += 1
+            else:
+                builder = False
+                self.hits += 1
+        if not builder:
+            cell.event.wait()
+            if cell.error is not None:
+                raise cell.error
+            return cell.value
+        try:
+            cell.value = factory()
+        except BaseException as exc:
+            cell.error = exc
+            with self._lock:
+                # Evict so the next caller can retry a transient failure.
+                if self._cells.get(key) is cell:
+                    del self._cells[key]
+            cell.event.set()
+            raise
+        cell.event.set()
+        return cell.value
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            cell = self._cells.get(key)
+        return cell is not None and cell.event.is_set() and cell.error is None
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cells.clear()

@@ -47,8 +47,9 @@ geometry-preferred candidate is used), for tests and CI.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Set, Tuple
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -58,8 +59,10 @@ from repro.graph.node import CNode, TensorSpec
 from repro.graph.partitioner import Segment
 from repro.nn.executor import init_parameters
 from repro.nn.kernels import KERNELS, _PARAM_ARITY, _pair
+from repro.nn.parallel import ParallelConfig, ParallelPlanRunner
 
 __all__ = [
+    "ChainInfo",
     "CompiledPlan",
     "GraphPlan",
     "PlanError",
@@ -131,25 +134,31 @@ class WorkspaceArena:
     Keeping the pool tight matters beyond allocator churn: on hosts with a
     large last-level cache the whole weight set plus workspace can stay
     cache-resident across back-to-back runs of one plan.
+
+    Free pools are keyed by ``region``: under branch-parallel execution
+    each chain allocates from (and releases into) its own region, so two
+    chains that may run concurrently can never be handed the same storage.
+    Serial compiles use the single default region, which preserves the
+    exact buffer-sharing behaviour of earlier plans.
     """
 
     def __init__(self) -> None:
-        self._free: Dict[str, List[np.ndarray]] = {}
+        self._free: Dict[Tuple[int, str], List[np.ndarray]] = {}
         self.allocated_bytes = 0
         self.persistent_bytes = 0
         self.buffers = 0
         self.reuses = 0
 
     def acquire(self, numel: int, dtype: Any = np.float32,
-                waste_cap: int | None = None) -> np.ndarray:
-        """Smallest adequate free buffer, or a fresh one.
+                waste_cap: int | None = None, region: int = 0) -> np.ndarray:
+        """Smallest adequate free buffer in ``region``, or a fresh one.
 
         ``waste_cap`` refuses free buffers more than that factor larger than
         the request — long-lived tensors should not squat on big scratch
         buffers that transient consumers (im2col columns) want to share.
         """
         numel = int(numel)
-        pool = self._free.get(np.dtype(dtype).str, [])
+        pool = self._free.get((region, np.dtype(dtype).str), [])
         best = None
         for i, buf in enumerate(pool):
             if buf.size < numel:
@@ -166,8 +175,8 @@ class WorkspaceArena:
         self.allocated_bytes += buf.nbytes
         return buf
 
-    def release(self, base: np.ndarray) -> None:
-        self._free.setdefault(base.dtype.str, []).append(base)
+    def release(self, base: np.ndarray, region: int = 0) -> None:
+        self._free.setdefault((region, base.dtype.str), []).append(base)
 
     def persistent(self, shape: Tuple[int, ...], dtype: Any = np.float32,
                    fill: float | None = None) -> np.ndarray:
@@ -191,22 +200,30 @@ class _Alloc:
     ``scratch`` buffers are returned to the pool as soon as the node is
     compiled: they are fully rewritten on every run before being read, so
     later nodes may share the same storage for their own scratch or
-    outputs without any cross-run hazard.
+    outputs without any cross-run hazard.  ``region`` is the arena region
+    (the compiling step's chain) every acquisition and release goes to —
+    under parallel execution only steps of the *same* chain may inherit
+    this node's scratch, because another chain could be running it.
     """
 
-    def __init__(self, arena: WorkspaceArena) -> None:
+    def __init__(self, arena: WorkspaceArena, region: int = 0) -> None:
         self.arena = arena
+        self.region = region
         self._scratch: List[np.ndarray] = []
+
+    def acquire(self, numel: int, dtype: Any = np.float32,
+                waste_cap: int | None = None) -> np.ndarray:
+        return self.arena.acquire(numel, dtype, waste_cap, region=self.region)
 
     def scratch(self, shape: Tuple[int, ...], dtype: Any = np.float32) -> np.ndarray:
         numel = int(np.prod(shape))
-        base = self.arena.acquire(numel, dtype)
+        base = self.arena.acquire(numel, dtype, region=self.region)
         self._scratch.append(base)
         return base[:numel].reshape(shape)
 
     def release_scratch(self) -> None:
         for base in self._scratch:
-            self.arena.release(base)
+            self.arena.release(base, region=self.region)
         self._scratch.clear()
 
 
@@ -221,6 +238,29 @@ class PlanStats:
     persistent_bytes: int
     buffers: int
     reuses: int
+    #: Executable chains the step list slices into (1 = a pure pipeline).
+    chains: int = 1
+    #: Buffers kept alive past their last use because their readers span
+    #: chains (parallel compiles only; serial compiles never pin).
+    pinned_buffers: int = 0
+
+
+@dataclass(frozen=True)
+class ChainInfo:
+    """Chain-slicing result of one plan, for inspection and property tests.
+
+    ``chain_of`` covers every compute node (aliases included, even though
+    they compile to no step); ``chains`` holds the *compiled step* names per
+    chain id, in execution order; ``chain_deps[c]`` are the chain ids that
+    must finish before chain ``c`` starts; ``roots`` maps each tensor name
+    to its storage root (aliases share their input's root).
+    """
+
+    chains: Tuple[Tuple[str, ...], ...]
+    chain_of: Dict[str, int]
+    chain_deps: Tuple[frozenset, ...]
+    node_index: Dict[str, int]
+    roots: Dict[str, str]
 
 
 # ---------------------------------------------------------------------------
@@ -398,7 +438,7 @@ def _compile_conv2d(node: CNode, x: np.ndarray, params: Sequence[np.ndarray],
     m_dim = ho * wo
     w_mat = weight.reshape(o, k_dim)
     cols = alloc.scratch((n, c, kh, kw, ho, wo))
-    out_base = alloc.arena.acquire(n * o * m_dim, waste_cap=4)
+    out_base = alloc.acquire(n * o * m_dim, waste_cap=4)
     out_view = out_base[:n * o * m_dim].reshape(n, o, ho, wo)
     gemms = [
         (cols[i].reshape(k_dim, m_dim), out_view[i].reshape(o, m_dim))
@@ -591,26 +631,49 @@ class CompiledPlan:
     ``batch`` compiles the plan for that many stacked samples: every spec's
     leading (batch) axis is scaled, and the compiled kernels keep each
     sample's floating-point reduction order identical to a ``batch=1`` run.
+
+    ``parallel`` compiles the plan for branch-parallel execution: the step
+    list is sliced into independent chains between join points (see
+    :attr:`chain_info`), buffer reuse and in-place rewrites are restricted
+    to within-chain lifetimes, and ``execute`` schedules ready chains on
+    the shared thread pool.  Outputs stay bit-identical to a serial plan:
+    the steps and their per-step reduction orders are unchanged — only the
+    interleaving across independent chains is.
     """
 
     def __init__(self, name: str, nodes: Sequence[CNode],
                  external_specs: Dict[str, TensorSpec],
                  params: Dict[str, np.ndarray],
                  result_names: Sequence[str],
-                 batch: int = 1) -> None:
+                 batch: int = 1,
+                 parallel: ParallelConfig | None = None) -> None:
         if batch < 1:
             raise PlanError(f"batch must be >= 1, got {batch}")
         self.name = name
         self.batch = batch
+        self.parallel = parallel
         self._params = params
         self._result_names = tuple(result_names)
         self._arena = WorkspaceArena()
         self._inputs: Dict[str, np.ndarray] = {}
         self._bound: Dict[str, np.ndarray] = {}
         self._steps: List[Tuple[str, Callable[[], None]]] = []
+        self._chain_fns: List[List[Callable[[], None]]] = []
+        self._chain_fn_deps: List[Set[int]] = []
+        self.chain_info: ChainInfo | None = None
         self.last_intermediates: Dict[str, np.ndarray] = {}
+        # One plan instance owns one workspace: concurrent execute() calls
+        # (parallel chains racing the batching loop on a cached plan) are
+        # serialised here rather than corrupting each other's tensors.
+        self._exec_lock = threading.Lock()
         self._compile(list(nodes), dict(external_specs))
         self._fns = [fn for _name, fn in self._steps]
+        self._runner: ParallelPlanRunner | None = None
+        if (parallel is not None and parallel.threads > 1
+                and len(self._chain_fns) > 1):
+            self._runner = ParallelPlanRunner(
+                self._chain_fns, self._chain_fn_deps, parallel.threads
+            )
 
     # -- compilation --------------------------------------------------------
 
@@ -653,23 +716,71 @@ class CompiledPlan:
         for rname, lu in last_use.items():
             deaths.setdefault(lu, []).append(rname)
 
+        # -- chain slicing ---------------------------------------------------
+        # The step list partitions into *chains*: maximal runs where each
+        # step is the unique consumer of its unique producer.  Any step with
+        # several inputs (a join), several consumers (a fork source's
+        # successors), or external-only inputs starts a new chain.  Chains
+        # are the unit of branch-parallel scheduling; every cross-chain data
+        # edge targets the *first* step of its chain (a continuation step
+        # has, by construction, its single dependency inside its own chain),
+        # which also makes chain ids topologically ordered.
+        name_idx = {node.name: i for i, node in enumerate(compute)}
+        node_deps: List[List[int]] = [
+            sorted({name_idx[d] for d in node.inputs if d in name_idx})
+            for node in compute
+        ]
+        succ_count = [0] * len(compute)
+        for ds in node_deps:
+            for i in ds:
+                succ_count[i] += 1
+        chain_of: List[int] = []
+        n_chains = 0
+        for ds in node_deps:
+            if len(ds) == 1 and succ_count[ds[0]] == 1:
+                chain_of.append(chain_of[ds[0]])
+            else:
+                chain_of.append(n_chains)
+                n_chains += 1
+        chain_deps: List[Set[int]] = [set() for _ in range(n_chains)]
+        for j, ds in enumerate(node_deps):
+            for i in ds:
+                if chain_of[i] != chain_of[j]:
+                    chain_deps[chain_of[j]].add(chain_of[i])
+        # Steps reading each storage root (alias readers count against the
+        # root): under parallel execution a buffer may be reused or rewritten
+        # in place only when every reader lives in the reusing step's chain —
+        # a reader in a concurrently runnable chain could still be looking.
+        root_readers: Dict[str, List[int]] = {}
+        for i, node in enumerate(compute):
+            for dep in node.inputs:
+                root_readers.setdefault(root[dep], []).append(i)
+
+        restricted = self.parallel is not None
+        pinned_buffers = 0
+
+        def same_chain_readers(rname: str, c: int) -> bool:
+            return all(chain_of[r] == c for r in root_readers.get(rname, ()))
+
         # Seed the pool with one scratch buffer sized for the largest im2col
         # column matrix in the plan, so every conv shares it instead of each
         # first-encountered geometry pinning its own.  Smaller is better: on
         # hosts with a large last-level cache the weights plus a tight
         # workspace can stay cache-resident across back-to-back runs.
-        max_cols = 0
-        for node in compute:
-            if node.op in ("conv2d", "fused_conv2d") and node.output is not None:
-                in_spec = specs.get(node.inputs[0])
-                if in_spec is None:
-                    continue
-                kh, kw = _pair(node.attrs["kernel"])
-                _, _, ho, wo = node.output.shape
-                n = in_spec.shape[0]
-                max_cols = max(max_cols, n * in_spec.shape[1] * kh * kw * ho * wo)
-        if max_cols:
-            arena.release(arena.acquire(max_cols, np.float32))
+        # (Serial plans only: concurrent chains must not share conv scratch.)
+        if not restricted:
+            max_cols = 0
+            for node in compute:
+                if node.op in ("conv2d", "fused_conv2d") and node.output is not None:
+                    in_spec = specs.get(node.inputs[0])
+                    if in_spec is None:
+                        continue
+                    kh, kw = _pair(node.attrs["kernel"])
+                    _, _, ho, wo = node.output.shape
+                    n = in_spec.shape[0]
+                    max_cols = max(max_cols, n * in_spec.shape[1] * kh * kw * ho * wo)
+            if max_cols:
+                arena.release(arena.acquire(max_cols, np.float32))
 
         bound = self._bound
         owner: Dict[str, np.ndarray] = {}
@@ -679,13 +790,19 @@ class CompiledPlan:
             owner[ext] = base
             self._inputs[ext] = bound[ext]
 
+        chain_fns: List[List[Callable[[], None]]] = [[] for _ in range(n_chains)]
+        chain_step_names: List[List[str]] = [[] for _ in range(n_chains)]
         inplace_steps = 0
         alias_steps = 0
         for idx, node in enumerate(compute):
             xs = [bound[dep] for dep in node.inputs]
             param_arrays = [self._params[p.name] for p in node.params]
             out_spec = specs[node.name]
-            alloc = _Alloc(arena)
+            region = chain_of[idx] if restricted else 0
+            alloc = _Alloc(arena, region=region)
+            steal_ok = not restricted or same_chain_readers(
+                root[node.inputs[0]], chain_of[idx]
+            ) if node.inputs else True
 
             if node.op in _ALIAS_OPS and (node.op == "dropout" or xs[0].flags.c_contiguous):
                 bound[node.name] = xs[0] if node.op == "dropout" else xs[0].reshape(
@@ -694,7 +811,8 @@ class CompiledPlan:
                 alias_steps += 1
             else:
                 fn, out_view, out_base, inplace = self._compile_step(
-                    node, xs, param_arrays, out_spec, alloc, root, last_use, idx, owner
+                    node, xs, param_arrays, out_spec, alloc, root, last_use, idx,
+                    owner, steal_ok,
                 )
                 alloc.release_scratch()
                 bound[node.name] = out_view
@@ -702,12 +820,48 @@ class CompiledPlan:
                 if inplace:
                     inplace_steps += 1
                 self._steps.append((node.name, fn))
+                chain_fns[chain_of[idx]].append(fn)
+                chain_step_names[chain_of[idx]].append(node.name)
 
             for rname in deaths.get(idx, ()):
                 base = owner.pop(rname, None)
-                if base is not None:
+                if base is None:
+                    continue
+                if not restricted:
                     arena.release(base)
+                elif same_chain_readers(rname, chain_of[idx]):
+                    # Safe reuse: every reader runs serially before any later
+                    # step of this chain; no other chain can still be reading.
+                    arena.release(base, region=chain_of[idx])
+                else:
+                    pinned_buffers += 1  # readers span chains: keep it alive
 
+        # Prune alias-only chains (they compile to no steps), folding their
+        # dependencies into their successors so the chain DAG stays closed.
+        # Chain ids are topologically ordered, so one forward pass suffices.
+        folded: List[Set[int]] = []
+        for c in range(n_chains):
+            deps_c: Set[int] = set()
+            for d in chain_deps[c]:
+                if chain_fns[d]:
+                    deps_c.add(d)
+                else:
+                    deps_c |= folded[d]
+            folded.append(deps_c)
+        remap = {}
+        for c in range(n_chains):
+            if chain_fns[c]:
+                remap[c] = len(remap)
+        self._chain_fns = [chain_fns[c] for c in remap]
+        self._chain_fn_deps = [{remap[d] for d in folded[c]} for c in remap]
+
+        self.chain_info = ChainInfo(
+            chains=tuple(tuple(names) for names in chain_step_names),
+            chain_of={node.name: chain_of[i] for i, node in enumerate(compute)},
+            chain_deps=tuple(frozenset(d) for d in chain_deps),
+            node_index=dict(name_idx),
+            roots=dict(root),
+        )
         self.stats = PlanStats(
             steps=len(self._steps),
             inplace_steps=inplace_steps,
@@ -716,16 +870,17 @@ class CompiledPlan:
             persistent_bytes=arena.persistent_bytes,
             buffers=arena.buffers,
             reuses=arena.reuses,
+            chains=len(self._chain_fns),
+            pinned_buffers=pinned_buffers,
         )
 
     def _compile_step(self, node: CNode, xs: List[np.ndarray],
                       param_arrays: List[np.ndarray], out_spec: TensorSpec,
                       alloc: _Alloc, root: Dict[str, str], last_use: Dict[str, int],
-                      idx: int, owner: Dict[str, np.ndarray],
+                      idx: int, owner: Dict[str, np.ndarray], steal_ok: bool = True,
                       ) -> Tuple[Callable[[], None], np.ndarray, np.ndarray, bool]:
         op = node.op
         attrs = node.attrs
-        arena = alloc.arena
         out_dtype = _NUMPY_DTYPES[out_spec.dtype]
 
         # conv2d self-allocates: the per-sample GEMMs write the tensor.
@@ -737,11 +892,13 @@ class CompiledPlan:
                     attrs.get("epilogue", ()), param_arrays[1:], out_view))
             return fn, out_view, out_base, False
 
-        # Steal the dying first input's buffer for elementwise ops.
+        # Steal the dying first input's buffer for elementwise ops.  Under
+        # parallel compilation the steal is additionally gated on every
+        # reader of that buffer living in this step's chain (steal_ok).
         inplace = False
         out_view: np.ndarray | None = None
         out_base: np.ndarray | None = None
-        if op in _INPLACE_OPS:
+        if op in _INPLACE_OPS and steal_ok:
             d0 = node.inputs[0]
             r0 = root[d0]
             cand = xs[0]
@@ -752,7 +909,7 @@ class CompiledPlan:
                 out_base = owner.pop(r0)
                 inplace = True
         if out_view is None:
-            out_base = arena.acquire(out_spec.numel, out_dtype, waste_cap=4)
+            out_base = alloc.acquire(out_spec.numel, out_dtype, waste_cap=4)
             out_view = out_base[:out_spec.numel].reshape(out_spec.shape)
 
         if op in ("matmul", "fused_matmul"):
@@ -813,21 +970,29 @@ class CompiledPlan:
         """Run the compiled steps; returns copies of the result tensors.
 
         Results are copied out of the workspace so they stay valid across
-        subsequent runs of the same plan.
+        subsequent runs of the same plan.  A plan owns one workspace, so
+        concurrent ``execute`` calls on the same plan serialize on a lock;
+        inside one call, independent chains run on the shared thread pool
+        when the plan was compiled with ``parallel.threads > 1``.
         """
-        for name, buf in self._inputs.items():
-            np.copyto(buf, externals[name])
-        keep_set = set(keep)
-        self.last_intermediates = {}
-        if keep_set:
-            for name, fn in self._steps:
-                fn()
-                if name in keep_set:
-                    self.last_intermediates[name] = self._bound[name].copy()
-        else:
-            for fn in self._fns:
-                fn()
-        return {name: self._bound[name].copy() for name in self._result_names}
+        with self._exec_lock:
+            for name, buf in self._inputs.items():
+                np.copyto(buf, externals[name])
+            keep_set = set(keep)
+            self.last_intermediates = {}
+            if keep_set:
+                # keep= is a debug/inspection path: run serially so captured
+                # intermediates snapshot at well-defined points.
+                for name, fn in self._steps:
+                    fn()
+                    if name in keep_set:
+                        self.last_intermediates[name] = self._bound[name].copy()
+            elif self._runner is not None:
+                self._runner.run()
+            else:
+                for fn in self._fns:
+                    fn()
+            return {name: self._bound[name].copy() for name in self._result_names}
 
 
 class GraphPlan:
@@ -840,7 +1005,7 @@ class GraphPlan:
 
     def __init__(self, graph: ComputationGraph, seed: int = 0,
                  params: Dict[str, np.ndarray] | None = None,
-                 batch: int = 1) -> None:
+                 batch: int = 1, parallel: ParallelConfig | None = None) -> None:
         graph.validate()
         self._graph = graph
         order = graph.topological_order()
@@ -853,6 +1018,7 @@ class GraphPlan:
             params=self._params,
             result_names=(graph.output_name,),
             batch=batch,
+            parallel=parallel,
         )
         self._expected = _batched_spec(graph.input_spec, batch).shape
         self.last_intermediates: Dict[str, np.ndarray] = {}
@@ -868,6 +1034,10 @@ class GraphPlan:
     @property
     def batch(self) -> int:
         return self._core.batch
+
+    @property
+    def chain_info(self) -> ChainInfo | None:
+        return self._core.chain_info
 
     def run(self, x: np.ndarray, keep: Iterable[str] = ()) -> np.ndarray:
         if tuple(x.shape) != self._expected:
@@ -886,7 +1056,7 @@ class SegmentPlan:
 
     def __init__(self, segment: Segment, seed: int = 0,
                  params: Dict[str, np.ndarray] | None = None,
-                 batch: int = 1) -> None:
+                 batch: int = 1, parallel: ParallelConfig | None = None) -> None:
         self._segment = segment
         self._params = params if params is not None else init_parameters(segment.nodes, seed)
         self._core = CompiledPlan(
@@ -896,6 +1066,7 @@ class SegmentPlan:
             params=self._params,
             result_names=segment.result_names,
             batch=batch,
+            parallel=parallel,
         )
         self._expected = {
             name: _batched_spec(spec, batch).shape
@@ -913,6 +1084,10 @@ class SegmentPlan:
     @property
     def batch(self) -> int:
         return self._core.batch
+
+    @property
+    def chain_info(self) -> ChainInfo | None:
+        return self._core.chain_info
 
     def run(self, boundary: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         missing = set(self._segment.boundary_inputs) - set(boundary)

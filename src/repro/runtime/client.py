@@ -32,6 +32,7 @@ from repro.hardware.device_model import DeviceModel
 from repro.network.channel import Channel
 from repro.network.estimator import BandwidthEstimator
 from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
+from repro.nn.parallel import CompileOnceCache, ParallelConfig
 from repro.runtime.messages import BusyReply, InferenceRecord, OffloadReply
 from repro.runtime.resilience import CircuitBreaker, ResilienceConfig
 from repro.runtime.server import PARTITION_OVERHEAD_S, EdgeServer
@@ -98,6 +99,7 @@ class UserDevice:
         functional: bool = False,
         model_seed: int = 0,
         resilience: ResilienceConfig | None = None,
+        parallelism: ParallelConfig | None = None,
     ) -> None:
         self.engine = engine
         self.server = server
@@ -124,9 +126,10 @@ class UserDevice:
         self._request_seq = 0
         self.backend = _check_backend(backend)
         self.functional = functional
+        self.parallelism = parallelism
         self._model_seed = model_seed
         self._model_params: Dict[str, np.ndarray] | None = None
-        self._head_executors: Dict[int, SegmentExecutor] = {}
+        self._head_executors: CompileOnceCache = CompileOnceCache()
         # Functional inputs come from a dedicated stream: ``self._rng`` keeps
         # driving the simulated timing draws, so InferenceRecords are
         # identical whether functional execution is on or off (and across
@@ -235,12 +238,12 @@ class UserDevice:
         outputs: Dict[str, np.ndarray] = {}
         if not partitioned.head.is_empty:
             point = partitioned.partition_point
-            executor = self._head_executors.get(point)
-            if executor is None:
-                executor = SegmentExecutor(
-                    partitioned.head, params=self.model_params, backend=self.backend
+            executor = self._head_executors.get_or_create(
+                point, lambda: SegmentExecutor(
+                    partitioned.head, params=self.model_params,
+                    backend=self.backend, parallelism=self.parallelism,
                 )
-                self._head_executors[point] = executor
+            )
             boundary = {name: x for name in partitioned.head.boundary_inputs}
             outputs = executor.run(boundary)
         transfers = {

@@ -202,6 +202,7 @@ class MultiClientSystem:
             functional=self.config.functional,
             model_seed=self.config.seed,
             fault_plan=self.config.server_faults,
+            parallelism=self.config.parallelism,
         )
         trace = bandwidth_trace or ConstantTrace(8e6)
         if self.config.faults is not None:
@@ -223,6 +224,7 @@ class MultiClientSystem:
                     functional=self.config.functional,
                     model_seed=self.config.seed,
                     resilience=self.config.resilience,
+                    parallelism=self.config.parallelism,
                 )
             )
         self.loop = EventLoop()

@@ -15,8 +15,9 @@ shedding excess load with :class:`~repro.runtime.messages.BusyReply`.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Deque, Dict, List, Sequence
 
 import numpy as np
 
@@ -34,6 +35,7 @@ from repro.nn.executor import (
     graph_signature,
     init_parameters,
 )
+from repro.nn.parallel import CompileOnceCache, ParallelConfig
 from repro.runtime.batching import BatchingConfig, PendingRequest
 from repro.runtime.messages import BusyReply, LoadReply, OffloadReply
 
@@ -60,6 +62,7 @@ class EdgeServer:
         functional: bool = False,
         model_seed: int = 0,
         fault_plan: ServerFaultPlan | None = None,
+        parallelism: ParallelConfig | None = None,
     ) -> None:
         self.engine = engine
         self.load_schedule = load_schedule or LoadSchedule([(0.0, IDLE)])
@@ -76,13 +79,17 @@ class EdgeServer:
         self._admitted: Deque[float] = deque()
         self.backend = _check_backend(backend)
         self.functional = functional
+        self.parallelism = parallelism
         self._model_seed = model_seed
         self._model_params: Dict[str, np.ndarray] | None = None
+        self._model_params_lock = threading.Lock()
         # Compiled tail executors keyed by (graph signature, partition
         # point, batch size): plans compile once and are reused across
-        # requests and across the batching ladder's rungs.
+        # requests and across the batching ladder's rungs.  The cache is
+        # raced by parallel chains and the batching event loop, so it is a
+        # build-once cache: one compile per key, all racers share it.
         self._graph_sig = graph_signature(engine.graph)
-        self._tail_executors: Dict[Tuple[str, int, int], SegmentExecutor] = {}
+        self._tail_executors: CompileOnceCache = CompileOnceCache()
 
     # -- functional execution --------------------------------------------------
 
@@ -90,22 +97,21 @@ class EdgeServer:
     def model_params(self) -> Dict[str, np.ndarray]:
         """Parameters materialised from the preloaded model file (§III-A)."""
         if self._model_params is None:
-            graph = self.engine.graph
-            self._model_params = init_parameters(
-                (graph.node(n) for n in graph.topological_order()), self._model_seed
-            )
+            with self._model_params_lock:
+                if self._model_params is None:
+                    graph = self.engine.graph
+                    self._model_params = init_parameters(
+                        (graph.node(n) for n in graph.topological_order()),
+                        self._model_seed,
+                    )
         return self._model_params
 
     def _tail_executor(self, point: int, batch: int = 1) -> SegmentExecutor:
         key = (self._graph_sig, point, batch)
-        executor = self._tail_executors.get(key)
-        if executor is None:
-            executor = SegmentExecutor(
-                self.cache.get(point).tail, params=self.model_params,
-                backend=self.backend, batch=batch,
-            )
-            self._tail_executors[key] = executor
-        return executor
+        return self._tail_executors.get_or_create(key, lambda: SegmentExecutor(
+            self.cache.get(point).tail, params=self.model_params,
+            backend=self.backend, batch=batch, parallelism=self.parallelism,
+        ))
 
     def _execute_tail(self, point: int, tensors: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Run the tail segment on the uploaded boundary tensors."""

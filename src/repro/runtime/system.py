@@ -21,6 +21,7 @@ from repro.network.channel import Channel, NetworkParams
 from repro.network.faults import FaultPlan, FaultyChannel, ServerFaultPlan
 from repro.network.traces import BandwidthTrace, ConstantTrace
 from repro.nn.executor import BACKENDS
+from repro.nn.parallel import ParallelConfig
 from repro.profiling.predictor import LatencyPredictor
 from repro.runtime.batching import BatchingConfig
 from repro.runtime.client import UserDevice
@@ -55,12 +56,24 @@ class SystemConfig:
     #: Opt-in resilient client (deadlines, retries, circuit breaker,
     #: local fallback).  None keeps the paper's trusting offload path.
     resilience: ResilienceConfig | None = None
+    #: Opt-in branch-parallel plan execution (planned backend only):
+    #: independent DAG chains run on a shared thread pool, bit-identical
+    #: to serial execution.  None keeps plans serial.
+    parallelism: ParallelConfig | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.parallelism is not None:
+            if not isinstance(self.parallelism, ParallelConfig):
+                raise ValueError("parallelism must be a ParallelConfig or None")
+            if self.backend != "planned":
+                raise ValueError(
+                    "parallelism requires backend='planned' "
+                    f"(got backend={self.backend!r})"
+                )
         if self.batching is not None and not isinstance(self.batching, BatchingConfig):
             raise ValueError("batching must be a BatchingConfig or None")
         if self.faults is not None and not isinstance(self.faults, FaultPlan):
@@ -169,6 +182,7 @@ class OffloadingSystem:
             functional=self.config.functional,
             model_seed=self.config.seed,
             fault_plan=self.config.server_faults,
+            parallelism=self.config.parallelism,
         )
         policy = self._make_policy(self.config.policy, engine)
         self.device = UserDevice(
@@ -181,6 +195,7 @@ class OffloadingSystem:
             functional=self.config.functional,
             model_seed=self.config.seed,
             resilience=self.config.resilience,
+            parallelism=self.config.parallelism,
         )
         self.loop = EventLoop()
 

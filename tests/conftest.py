@@ -1,4 +1,9 @@
-"""Shared fixtures: small graphs and session-scoped trained predictors."""
+"""Test-local fixtures: small graphs and an RNG.
+
+The trained-predictor and engine fixtures (``trained_report``,
+``alexnet_engine``, ``squeezenet_engine``, ``engine_for``) live in the
+repository-root ``conftest.py``, shared with ``benchmarks/``.
+"""
 
 from __future__ import annotations
 
@@ -11,10 +16,7 @@ import pytest
 # speed, never results (all candidates are bit-identical by construction).
 os.environ.setdefault("REPRO_PLAN_FAST_COMPILE", "1")
 
-from repro.core.engine import LoADPartEngine
 from repro.graph.builder import GraphBuilder
-from repro.models import build_model
-from repro.profiling.offline import OfflineProfiler
 
 
 @pytest.fixture
@@ -59,27 +61,3 @@ def fire_graph():
     cat = b.concat([e1, e3], name="cat")
     b.output(cat)
     return b.build()
-
-
-@pytest.fixture(scope="session")
-def trained_report():
-    """A small but real offline-profiler run, shared across the session."""
-    return OfflineProfiler(samples_per_category=150, seed=3).run()
-
-
-@pytest.fixture(scope="session")
-def alexnet_engine(trained_report):
-    return LoADPartEngine(
-        build_model("alexnet"),
-        trained_report.user_predictor,
-        trained_report.edge_predictor,
-    )
-
-
-@pytest.fixture(scope="session")
-def squeezenet_engine(trained_report):
-    return LoADPartEngine(
-        build_model("squeezenet"),
-        trained_report.user_predictor,
-        trained_report.edge_predictor,
-    )

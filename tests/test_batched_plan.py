@@ -19,20 +19,9 @@ from repro.nn.plan import GraphPlan, PlanError
 from repro.runtime.batching import BatchingConfig, DynamicBatcher, PendingRequest
 from repro.runtime.multi import FleetResult, MultiClientSystem
 from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
-
-_FAST_MODELS = ("alexnet", "squeezenet", "mobilenet_v1", "mobilenet_v2", "resnet18")
-_SLOW_MODELS = ("vgg16", "resnet50", "resnet101", "resnet152", "inception_v3", "xception")
-ZOO = [pytest.param(m, id=m) for m in _FAST_MODELS] + [
-    pytest.param(m, id=m, marks=pytest.mark.slow) for m in _SLOW_MODELS
-]
+from tests.helpers import ZOO, assert_per_sample_bit_identical, sample_inputs
 
 BATCH = 3
-
-
-def _samples(graph, n, seed=42):
-    rng = np.random.default_rng(seed)
-    return [rng.standard_normal(graph.input_spec.shape).astype(np.float32)
-            for _ in range(n)]
 
 
 class TestBatchedZooBitIdentity:
@@ -42,22 +31,13 @@ class TestBatchedZooBitIdentity:
     def test_per_sample_bit_identical(self, model_name):
         graph = build_model(model_name)
         planned = GraphExecutor(graph, seed=0, backend="planned", batch=BATCH)
-        naive = GraphExecutor(graph, seed=0, params=planned.params)
-        xs = _samples(graph, BATCH)
-        out = planned.run(np.concatenate(xs, axis=0))
-        assert out.dtype == np.float32
-        for i, x in enumerate(xs):
-            assert np.array_equal(out[i:i + 1], naive.run(x)), f"sample {i} differs"
+        assert_per_sample_bit_identical(graph, planned, BATCH)
 
     @pytest.mark.parametrize("model_name", [pytest.param("squeezenet", id="squeezenet")])
     def test_fused_batched_bit_identical(self, model_name):
         graph = fuse_graph(build_model(model_name))
         planned = GraphExecutor(graph, seed=0, backend="planned", batch=BATCH)
-        naive = GraphExecutor(graph, seed=0, params=planned.params)
-        xs = _samples(graph, BATCH)
-        out = planned.run(np.concatenate(xs, axis=0))
-        for i, x in enumerate(xs):
-            assert np.array_equal(out[i:i + 1], naive.run(x))
+        assert_per_sample_bit_identical(graph, planned, BATCH)
 
 
 class TestBatchedSegments:
@@ -85,7 +65,7 @@ class TestBatchedSegments:
         graph = build_model("alexnet")
         plan = GraphPlan(graph, batch=2)
         with pytest.raises(ValueError):
-            plan.run(_samples(graph, 1)[0])  # batch-1 input into a batch-2 plan
+            plan.run(sample_inputs(graph, 1)[0])  # batch-1 input into a batch-2 plan
         with pytest.raises(PlanError):
             GraphPlan(graph, batch=0)
 

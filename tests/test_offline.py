@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.experiments.context import DEFAULT_SAMPLES
 from repro.graph.ops import CATEGORIES
 from repro.profiling.offline import TABLE3_ROWS, OfflineProfiler
 
@@ -38,7 +39,7 @@ class TestRun:
     def test_train_test_split_counts(self, trained_report):
         for category in CATEGORIES:
             total = trained_report.train_counts[category] + trained_report.test_counts[category]
-            assert total == 150
+            assert total == DEFAULT_SAMPLES  # the shared root-conftest report
             assert trained_report.test_counts[category] >= 1
 
     def test_format_table3_contains_rows(self, trained_report):

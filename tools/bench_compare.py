@@ -18,6 +18,15 @@ when the baseline report was committed from a different machine (e.g. CI).
 the resilient arm's **availability** (fractional drop vs baseline) and
 **fallback rate** (absolute increase) per fault scenario — host speed
 plays no role in either, so they compare cleanly across machines.
+
+``BENCH_parallel.json`` reports are also detected automatically.  They
+gate on the candidate's own numbers rather than the baseline's, because
+chain-parallel speedup depends on core count and the baseline may have
+been committed from a different machine: at least one branchy model must
+reach the 1.2x speedup floor (skipped, loudly, when the candidate host
+has fewer than two CPUs — parallelism cannot pay off there), no serial
+control model may slow down more than 5%, and bit-identity must hold
+everywhere.
 """
 
 from __future__ import annotations
@@ -28,6 +37,12 @@ import pathlib
 import sys
 
 DEFAULT_THRESHOLD = 0.15
+
+#: parallel_chains gates: ≥1.2x on at least one branchy model (multi-core
+#: hosts only), and serial single-chain controls within 5% of their
+#: serial-plan time.
+BRANCHY_SPEEDUP_FLOOR = 1.2
+SERIAL_CONTROL_TOLERANCE = 0.05
 
 
 def load(path: pathlib.Path) -> dict:
@@ -75,6 +90,61 @@ def compare_resilience(baseline: dict, candidate: dict,
     only = sorted(set(base) ^ set(cand))
     if only:
         print(f"(not compared, present in one report only: {', '.join(only)})")
+    return regressions
+
+
+def compare_parallel(baseline: dict, candidate: dict,
+                     threshold: float) -> list[str]:
+    """Gate chain-parallel execution on the candidate's own report.
+
+    Speedup is a property of the candidate host's core count, so the
+    baseline is used for side-by-side context only; the hard gates are
+    the branchy speedup floor, the serial-control regression bound, and
+    bit-identity.
+    """
+    regressions: list[str] = []
+    base_results = baseline["results"]
+    cand_results = candidate["results"]
+    cpus = (candidate.get("host") or {}).get("cpus") or 0
+    branchy_best: tuple[str, float] | None = None
+    for name in sorted(cand_results):
+        entry = cand_results[name]
+        speedup = entry["speedup"]
+        marker = ""
+        if not entry.get("bit_identical", False):
+            marker = "  <-- REGRESSION"
+            regressions.append(f"{name}: parallel output not bit-identical")
+        if entry["role"] == "branchy":
+            if branchy_best is None or speedup > branchy_best[1]:
+                branchy_best = (name, speedup)
+        elif speedup < 1.0 - SERIAL_CONTROL_TOLERANCE:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: serial control slowed {entry['serial_ms']:.1f} -> "
+                f"{entry['parallel_ms']:.1f} ms ({speedup:.2f}x < "
+                f"{1.0 - SERIAL_CONTROL_TOLERANCE:.2f}x)")
+        base = base_results.get(name)
+        context = (f"baseline {base['speedup']:.2f}x  " if base else "")
+        print(f"{name:12s} ({entry['role']:14s}) serial "
+              f"{entry['serial_ms']:9.1f} ms  parallel "
+              f"{entry['parallel_ms']:9.1f} ms  {context}"
+              f"speedup {speedup:.2f}x{marker}")
+    if branchy_best is None:
+        raise SystemExit("candidate report has no branchy models; "
+                         "nothing to gate")
+    if cpus >= 2:
+        if branchy_best[1] < BRANCHY_SPEEDUP_FLOOR:
+            regressions.append(
+                f"best branchy speedup {branchy_best[1]:.2f}x "
+                f"({branchy_best[0]}) below the "
+                f"{BRANCHY_SPEEDUP_FLOOR:.1f}x floor on {cpus} cpus")
+        else:
+            print(f"\nbranchy floor met: {branchy_best[0]} "
+                  f"{branchy_best[1]:.2f}x >= {BRANCHY_SPEEDUP_FLOOR:.1f}x "
+                  f"on {cpus} cpus")
+    else:
+        print(f"\nbranchy speedup floor skipped: candidate host has "
+              f"{cpus} cpu(s); chain parallelism cannot pay off")
     return regressions
 
 
@@ -129,11 +199,14 @@ def main(argv=None) -> int:
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
-    if baseline.get("benchmark") == "resilience":
-        if candidate.get("benchmark") != "resilience":
-            raise SystemExit("cannot compare a resilience report against "
+    for kind in ("resilience", "parallel_chains"):
+        if (baseline.get("benchmark") == kind) != (candidate.get("benchmark") == kind):
+            raise SystemExit(f"cannot compare a {kind} report against "
                              "a different benchmark type")
+    if baseline.get("benchmark") == "resilience":
         regressions = compare_resilience(baseline, candidate, args.threshold)
+    elif baseline.get("benchmark") == "parallel_chains":
+        regressions = compare_parallel(baseline, candidate, args.threshold)
     else:
         regressions = compare(baseline, candidate,
                               args.threshold, metric=args.metric)
