@@ -1,0 +1,181 @@
+"""Per-sample parallel batched plans: serial batched vs 2-D (sample × chain).
+
+Times repeated batched whole-graph inference — the shape of the server's
+batched tail execs — for a branchy family (SqueezeNet: samples × chains
+compose) and a serial backbone (AlexNet: only the sample axis exists),
+sweeping threads {1, 2, 4} × batch {1, 4, 8}.  Every cell is verified
+**per-sample bit-identical** to the serial batched plan and to
+independent naive batch-1 runs before it is timed.
+
+Controls ride along in the same grid: ``threads=1`` cells keep the fused
+batched compile — on a single-chain backbone a parallel config with no
+workers must cost ~nothing over the plain batched plan
+(``serial_control``, gated); on a branchy graph it carries PR 4's
+accepted chain-region compile overhead (``branchy_serial``,
+informational).  ``batch=1`` cells are plain chain parallelism with no
+sample axis to exploit (``chain_only``).
+
+The reported statistic is the **minimum** over repetitions, and the
+report records ``host.cpus``: sample parallelism physically cannot pay
+off on a single-core host, so ``tools/bench_compare.py`` only enforces
+the speedup floor when the candidate ran with two or more cores
+(bit-identity is enforced unconditionally).  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_samples.py --repeats 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+#: family -> builder name; one branchy (2-D schedule) + one serial
+#: backbone (pure sample-axis schedule).
+FAMILIES = {
+    "SqueezeNet": "squeezenet",
+    "AlexNet": "alexnet",
+}
+
+THREAD_GRID = (1, 2, 4)
+BATCH_GRID = (1, 4, 8)
+
+DEFAULT_OUTPUT = (pathlib.Path(__file__).resolve().parent.parent
+                  / "BENCH_parallel_samples.json")
+
+
+def _time_runs(run, x, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run(x)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_cell(graph, params, naive, batch: int, threads: int,
+               repeats: int, seed: int = 0) -> dict:
+    from repro.nn.parallel import ParallelConfig
+    from repro.nn.plan import GraphPlan
+
+    serial = GraphPlan(graph, seed=seed, params=params, batch=batch)
+    parallel = GraphPlan(graph, seed=seed, params=params, batch=batch,
+                         parallel=ParallelConfig(threads=threads))
+    rng = np.random.default_rng(1)
+    xs = [rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+          for _ in range(batch)]
+    x = np.concatenate(xs, axis=0) if batch > 1 else xs[0]
+
+    serial_out = serial.run(x)
+    parallel_out = parallel.run(x)
+    per_sample_ok = all(
+        np.array_equal(serial_out[i:i + 1], naive.run(xi))
+        for i, xi in enumerate(xs)
+    )
+    bit_identical = bool(
+        per_sample_ok
+        and serial_out.tobytes() == parallel_out.tobytes()
+        and parallel_out.tobytes() == parallel.run(x).tobytes()
+    )
+
+    serial_s = _time_runs(serial.run, x, repeats)
+    parallel_s = _time_runs(parallel.run, x, repeats)
+    stats = parallel.stats
+    if batch > 1 and threads > 1:
+        role = "sample_parallel"
+    elif threads > 1:
+        role = "chain_only"        # batch=1: no sample axis to exploit
+    elif stats.chains <= max(stats.sample_slices, 1):
+        role = "serial_control"    # threads=1, single chain: pure config cost
+    else:
+        # threads=1 on a branchy graph: the fused batched plan compiled
+        # with chain regions — carries PR 4's accepted chain-compile
+        # overhead (conv pre-seed off, pinned buffers), informational only.
+        role = "branchy_serial"
+    return {
+        "batch": batch,
+        "threads": threads,
+        "role": role,
+        "serial_ms": round(serial_s * 1e3, 3),
+        "parallel_ms": round(parallel_s * 1e3, 3),
+        "speedup": round(serial_s / parallel_s, 3),
+        "samples_per_s": round(batch / parallel_s, 2),
+        "sample_slices": stats.sample_slices,
+        "tasks": stats.chains,
+        "bit_identical": bit_identical,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed repetitions per cell (min is reported)")
+    parser.add_argument("--models", nargs="*", default=None,
+                        help="family names to run (default: all)")
+    parser.add_argument("--output", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    from repro.models import build_model
+    from repro.nn import GraphExecutor
+    from repro.nn.executor import init_parameters
+
+    targets = FAMILIES
+    if args.models:
+        by_lower = {f.lower(): f for f in FAMILIES}
+        try:
+            targets = {by_lower[m.lower()]: FAMILIES[by_lower[m.lower()]]
+                       for m in args.models}
+        except KeyError as exc:
+            parser.error(f"unknown model {exc.args[0]!r} "
+                         f"(choose from {sorted(FAMILIES)})")
+
+    results = {}
+    for family, model_name in targets.items():
+        graph = build_model(model_name)
+        params = init_parameters(
+            (graph.node(n) for n in graph.topological_order()), 0)
+        naive = GraphExecutor(graph, seed=0, params=params)
+        for batch in BATCH_GRID:
+            for threads in THREAD_GRID:
+                cell = bench_cell(graph, params, naive, batch, threads,
+                                  args.repeats)
+                results[f"{family}/b{batch}/t{threads}"] = cell
+                print(f"{family:10s} b={batch} t={threads} ({cell['role']:15s}): "
+                      f"serial {cell['serial_ms']:8.1f} ms  "
+                      f"parallel {cell['parallel_ms']:8.1f} ms  "
+                      f"speedup {cell['speedup']:.2f}x  "
+                      f"bit_identical={cell['bit_identical']}")
+
+    parallel_cells = [e["speedup"] for e in results.values()
+                      if e["role"] == "sample_parallel"]
+    report = {
+        "benchmark": "parallel_samples",
+        "statistic": "min",
+        "repeats": args.repeats,
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": os.cpu_count(),
+        },
+        "sample_parallel_max_speedup": (round(max(parallel_cells), 3)
+                                        if parallel_cells else None),
+        "all_bit_identical": all(e["bit_identical"]
+                                 for e in results.values()),
+        "results": results,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    best = report["sample_parallel_max_speedup"]
+    print(f"\nbest sample-parallel speedup "
+          f"{best:.2f}x on {os.cpu_count()} cpu(s) -> {args.output}"
+          if best is not None else f"\n-> {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,10 +34,13 @@ def _resolve_parallelism(backend: str,
                          parallelism: ParallelConfig | None) -> ParallelConfig | None:
     """Validate the parallelism knob against the backend.
 
-    Only the planned backend can run branch-parallel (chains are a property
-    of compiled plans); an explicit config on the naive backend is a user
-    error, while the :envvar:`REPRO_PARALLEL_THREADS` default applies to
-    planned executors only.
+    Only the planned backend can run parallel (chains and per-sample
+    slices are properties of compiled plans); an explicit config on the
+    naive backend is a user error, while the
+    :envvar:`REPRO_PARALLEL_THREADS` default applies to planned executors
+    only.  On a ``batch > 1`` planned executor the config additionally
+    enables per-sample slicing (2-D sample × chain scheduling) unless
+    ``sample_parallel=False``.
     """
     if parallelism is not None:
         if backend != "planned":

@@ -10,6 +10,9 @@ its liveness pass; this module supplies the execution side:
   (``SystemConfig(parallelism=ParallelConfig(threads=...))``);
 - :class:`ParallelPlanRunner` — runs ready chains on a persistent,
   process-shared :class:`~concurrent.futures.ThreadPoolExecutor`;
+- :class:`SampleParallelRunner` — the 2-D (sample × chain) extension for
+  batched plans: per-sample step slices are independent by construction,
+  so their chain DAGs fold into one task graph on the same shared pool;
 - :class:`CompileOnceCache` — a thread-safe build-once cache for compiled
   executors (the server's tail-plan cache is raced by parallel chains and
   the batching event loop).
@@ -43,6 +46,7 @@ __all__ = [
     "CompileOnceCache",
     "ParallelConfig",
     "ParallelPlanRunner",
+    "SampleParallelRunner",
     "default_parallelism",
     "shared_pool",
 ]
@@ -61,9 +65,22 @@ class ParallelConfig:
     keeps execution on the calling thread (chain slicing still happens and
     is observable in :class:`~repro.nn.plan.PlanStats`, but scheduling is
     serial) — useful as the control arm of differential tests.
+
+    ``sample_parallel`` extends the chain scheduler to the batch axis:
+    plans compiled for ``batch > 1`` with ``threads > 1`` slice into
+    **per-sample** step lists (every kernel in the planned backend reduces
+    strictly within one sample, so samples are independent by
+    construction) and the scheduler runs (sample, chain) tasks on the same
+    shared pool — 2-D scheduling bounded by one worker budget.  With
+    ``threads=1`` the fused batched compile is kept (per-sample kernel
+    granularity costs overhead that only pays off when samples overlap).
+    ``sample_parallel=False`` keeps batched plans on the single
+    chain-sliced step list over the whole batch, the control arm of the
+    per-sample differential tests.
     """
 
     threads: int = 2
+    sample_parallel: bool = True
 
     def __post_init__(self) -> None:
         if self.threads < 1:
@@ -199,6 +216,36 @@ class ParallelPlanRunner:
             for fut in futures:
                 fut.exception()
             raise state["error"]
+
+
+class SampleParallelRunner(ParallelPlanRunner):
+    """2-D (sample × chain) scheduler for batched plans.
+
+    A batched plan compiled with ``sample_parallel`` holds one chain-sliced
+    step list **per sample**; the sample copies are mutually independent by
+    construction (every planned kernel reduces strictly within a sample and
+    each sample allocates from its own ``(sample, chain)`` arena regions).
+    This runner folds the per-sample chain DAGs into one task graph — chain
+    ``c`` of sample ``s`` becomes task ``s * chains_per_sample + c``, with
+    dependencies only inside its own sample — and schedules it on the same
+    shared pool as plain chain parallelism, so one worker budget bounds
+    both axes and a branchy batched plan overlaps samples *and* branches.
+    """
+
+    def __init__(self, sample_chains: Sequence[Sequence[Sequence[Callable[[], None]]]],
+                 sample_deps: Sequence[Sequence[Set[int]]], threads: int) -> None:
+        if len(sample_chains) != len(sample_deps):
+            raise ValueError("sample_chains must match sample_deps one-to-one")
+        if not sample_chains:
+            raise ValueError("need at least one sample")
+        chains: List[Sequence[Callable[[], None]]] = []
+        deps: List[Set[int]] = []
+        for per_chain, per_deps in zip(sample_chains, sample_deps):
+            offset = len(chains)
+            chains.extend(per_chain)
+            deps.extend({offset + d for d in ds} for ds in per_deps)
+        super().__init__(chains, deps, threads)
+        self.samples = len(sample_chains)
 
 
 # ---------------------------------------------------------------------------

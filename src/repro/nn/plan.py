@@ -37,6 +37,15 @@ O=64,K=288,M=49 — so it is deliberately rejected), matmuls run one
 row-GEMV per sample, and every other kernel reduces strictly within a
 sample.
 
+Because every batched kernel reduces strictly within a sample, batched
+plans also **slice per sample**: under a sample-parallel
+:class:`~repro.nn.parallel.ParallelConfig` the compiler emits one
+chain-sliced step list per sample (bound over per-sample views of shared
+full-batch external buffers, allocating from per-``(sample, chain)``
+arena regions) and execution schedules the 2-D (sample × chain) task
+graph on the shared thread pool — composing PR 2's batching with PR 4's
+chain parallelism without changing a single floating-point reduction.
+
 Compile time is budgeted: the ``_pick_faster`` autotuner drops to a single
 timed repetition once a candidate exceeds ``_PICK_BUDGET_S``, einsum
 contraction paths are cached process-wide by (subscripts, shapes), and
@@ -59,7 +68,7 @@ from repro.graph.node import CNode, TensorSpec
 from repro.graph.partitioner import Segment
 from repro.nn.executor import init_parameters
 from repro.nn.kernels import KERNELS, _PARAM_ARITY, _pair
-from repro.nn.parallel import ParallelConfig, ParallelPlanRunner
+from repro.nn.parallel import ParallelConfig, ParallelPlanRunner, SampleParallelRunner
 
 __all__ = [
     "ChainInfo",
@@ -136,21 +145,22 @@ class WorkspaceArena:
     cache-resident across back-to-back runs of one plan.
 
     Free pools are keyed by ``region``: under branch-parallel execution
-    each chain allocates from (and releases into) its own region, so two
-    chains that may run concurrently can never be handed the same storage.
-    Serial compiles use the single default region, which preserves the
-    exact buffer-sharing behaviour of earlier plans.
+    each chain allocates from (and releases into) its own region, and
+    under sample-parallel batched execution regions are ``(sample, chain)``
+    pairs, so two tasks that may run concurrently can never be handed the
+    same storage.  Serial compiles use the single default region, which
+    preserves the exact buffer-sharing behaviour of earlier plans.
     """
 
     def __init__(self) -> None:
-        self._free: Dict[Tuple[int, str], List[np.ndarray]] = {}
+        self._free: Dict[Tuple[Any, str], List[np.ndarray]] = {}
         self.allocated_bytes = 0
         self.persistent_bytes = 0
         self.buffers = 0
         self.reuses = 0
 
     def acquire(self, numel: int, dtype: Any = np.float32,
-                waste_cap: int | None = None, region: int = 0) -> np.ndarray:
+                waste_cap: int | None = None, region: Any = 0) -> np.ndarray:
         """Smallest adequate free buffer in ``region``, or a fresh one.
 
         ``waste_cap`` refuses free buffers more than that factor larger than
@@ -175,7 +185,7 @@ class WorkspaceArena:
         self.allocated_bytes += buf.nbytes
         return buf
 
-    def release(self, base: np.ndarray, region: int = 0) -> None:
+    def release(self, base: np.ndarray, region: Any = 0) -> None:
         self._free.setdefault((region, base.dtype.str), []).append(base)
 
     def persistent(self, shape: Tuple[int, ...], dtype: Any = np.float32,
@@ -201,12 +211,13 @@ class _Alloc:
     compiled: they are fully rewritten on every run before being read, so
     later nodes may share the same storage for their own scratch or
     outputs without any cross-run hazard.  ``region`` is the arena region
-    (the compiling step's chain) every acquisition and release goes to —
-    under parallel execution only steps of the *same* chain may inherit
-    this node's scratch, because another chain could be running it.
+    (the compiling step's chain, or ``(sample, chain)`` under sample
+    slicing) every acquisition and release goes to — under parallel
+    execution only steps of the *same* region may inherit this node's
+    scratch, because another task could be running it.
     """
 
-    def __init__(self, arena: WorkspaceArena, region: int = 0) -> None:
+    def __init__(self, arena: WorkspaceArena, region: Any = 0) -> None:
         self.arena = arena
         self.region = region
         self._scratch: List[np.ndarray] = []
@@ -238,11 +249,16 @@ class PlanStats:
     persistent_bytes: int
     buffers: int
     reuses: int
-    #: Executable chains the step list slices into (1 = a pure pipeline).
+    #: Schedulable chain tasks the plan slices into (1 = a pure pipeline).
+    #: Under sample-parallel compiles this counts (sample, chain) tasks
+    #: across every sample slice.
     chains: int = 1
     #: Buffers kept alive past their last use because their readers span
     #: chains (parallel compiles only; serial compiles never pin).
     pinned_buffers: int = 0
+    #: Independent per-sample step slices the plan compiled (1 = a single
+    #: step list over the whole batch; ``batch`` under sample-parallel).
+    sample_slices: int = 1
 
 
 @dataclass(frozen=True)
@@ -253,7 +269,9 @@ class ChainInfo:
     they compile to no step); ``chains`` holds the *compiled step* names per
     chain id, in execution order; ``chain_deps[c]`` are the chain ids that
     must finish before chain ``c`` starts; ``roots`` maps each tensor name
-    to its storage root (aliases share their input's root).
+    to its storage root (aliases share their input's root).  Under sample
+    slicing this describes the **per-sample** chain DAG — every sample
+    slice shares the same structure by construction.
     """
 
     chains: Tuple[Tuple[str, ...], ...]
@@ -639,6 +657,17 @@ class CompiledPlan:
     the shared thread pool.  Outputs stay bit-identical to a serial plan:
     the steps and their per-step reduction orders are unchanged — only the
     interleaving across independent chains is.
+
+    With ``parallel.sample_parallel`` and ``batch > 1`` the two compose:
+    the plan compiles one chain-sliced step list **per sample**, bound over
+    per-sample views of shared full-batch external buffers, and execution
+    schedules (sample, chain) tasks on the same shared pool (see
+    :class:`~repro.nn.parallel.SampleParallelRunner`).  Each sample's
+    steps are exactly the steps a ``batch=1`` compile emits — the same
+    GEMM slab shapes, the same per-sample reduction orders — and each
+    sample allocates from its own ``(sample, chain)`` arena regions, so
+    outputs stay per-sample bit-identical to the serial batched plan and
+    to independent batch-1 runs.
     """
 
     def __init__(self, name: str, nodes: Sequence[CNode],
@@ -656,10 +685,13 @@ class CompiledPlan:
         self._result_names = tuple(result_names)
         self._arena = WorkspaceArena()
         self._inputs: Dict[str, np.ndarray] = {}
-        self._bound: Dict[str, np.ndarray] = {}
-        self._steps: List[Tuple[str, Callable[[], None]]] = []
-        self._chain_fns: List[List[Callable[[], None]]] = []
-        self._chain_fn_deps: List[Set[int]] = []
+        self.sample_mode = False
+        #: One step list / binding / chain DAG per sample slice (a single
+        #: entry covering the whole batch unless sample-parallel kicked in).
+        self._sample_steps: List[List[Tuple[str, Callable[[], None]]]] = []
+        self._sample_bound: List[Dict[str, np.ndarray]] = []
+        self._sample_chain_fns: List[List[List[Callable[[], None]]]] = []
+        self._sample_chain_deps: List[List[Set[int]]] = []
         self.chain_info: ChainInfo | None = None
         self.last_intermediates: Dict[str, np.ndarray] = {}
         # One plan instance owns one workspace: concurrent execute() calls
@@ -667,13 +699,26 @@ class CompiledPlan:
         # serialised here rather than corrupting each other's tensors.
         self._exec_lock = threading.Lock()
         self._compile(list(nodes), dict(external_specs))
-        self._fns = [fn for _name, fn in self._steps]
+        # Slice-0 aliases: the full plan when a single step list covers the
+        # whole batch, and the structural representative (every slice shares
+        # one chain DAG) under sample slicing.
+        self._bound = self._sample_bound[0]
+        self._steps = self._sample_steps[0]
+        self._chain_fns = self._sample_chain_fns[0]
+        self._chain_fn_deps = self._sample_chain_deps[0]
+        self._fns = [fn for steps in self._sample_steps for _name, fn in steps]
         self._runner: ParallelPlanRunner | None = None
-        if (parallel is not None and parallel.threads > 1
-                and len(self._chain_fns) > 1):
-            self._runner = ParallelPlanRunner(
-                self._chain_fns, self._chain_fn_deps, parallel.threads
-            )
+        if parallel is not None and parallel.threads > 1:
+            total_tasks = sum(len(c) for c in self._sample_chain_fns)
+            if len(self._sample_chain_fns) > 1 and total_tasks > 1:
+                self._runner = SampleParallelRunner(
+                    self._sample_chain_fns, self._sample_chain_deps,
+                    parallel.threads,
+                )
+            elif total_tasks > 1:
+                self._runner = ParallelPlanRunner(
+                    self._chain_fns, self._chain_fn_deps, parallel.threads
+                )
 
     # -- compilation --------------------------------------------------------
 
@@ -681,15 +726,33 @@ class CompiledPlan:
         arena = self._arena
         compute = [n for n in nodes if n.op not in _SCAFFOLD_OPS]
 
-        external_specs = {
+        # Sample slicing: with a sample-parallel config, batch > 1 and
+        # workers to exploit it, the plan compiles one step list per sample
+        # over per-sample views of shared full-batch external buffers
+        # (specs keep their batch=1 shapes); otherwise a single step list
+        # covers the whole batch.  threads=1 keeps the fused batched
+        # compile — per-sample kernels cost granularity overhead that only
+        # pays off when samples actually overlap.
+        sample_mode = (self.parallel is not None and self.batch > 1
+                       and self.parallel.threads > 1
+                       and self.parallel.sample_parallel)
+        self.sample_mode = sample_mode
+        slices = self.batch if sample_mode else 1
+        spec_batch = 1 if sample_mode else self.batch
+
+        full_specs = {
             name: _batched_spec(spec, self.batch)
+            for name, spec in external_specs.items()
+        }
+        external_specs = {
+            name: _batched_spec(spec, spec_batch)
             for name, spec in external_specs.items()
         }
         specs: Dict[str, TensorSpec] = dict(external_specs)
         for node in compute:
             if node.output is None:
                 raise PlanError(f"node {node.name!r} has no output spec")
-            specs[node.name] = _batched_spec(node.output, self.batch)
+            specs[node.name] = _batched_spec(node.output, spec_batch)
         for rname in self._result_names:
             if rname not in specs:
                 raise PlanError(f"result {rname!r} is not produced by plan {self.name!r}")
@@ -782,78 +845,104 @@ class CompiledPlan:
             if max_cols:
                 arena.release(arena.acquire(max_cols, np.float32))
 
-        bound = self._bound
-        owner: Dict[str, np.ndarray] = {}
-        for ext, spec in external_specs.items():
+        # External buffers are allocated once at full batch size and shared
+        # by every sample slice (slice ``s`` binds the contiguous view of
+        # its own samples).  Under sample slicing they are never released
+        # and never stolen — another slice's steps still read them.
+        ext_full: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for ext, spec in full_specs.items():
             base = arena.acquire(spec.numel, _NUMPY_DTYPES[spec.dtype], waste_cap=4)
-            bound[ext] = base[:spec.numel].reshape(spec.shape)
-            owner[ext] = base
-            self._inputs[ext] = bound[ext]
+            view = base[:spec.numel].reshape(spec.shape)
+            ext_full[ext] = (view, base)
+            self._inputs[ext] = view
 
-        chain_fns: List[List[Callable[[], None]]] = [[] for _ in range(n_chains)]
         chain_step_names: List[List[str]] = [[] for _ in range(n_chains)]
         inplace_steps = 0
         alias_steps = 0
-        for idx, node in enumerate(compute):
-            xs = [bound[dep] for dep in node.inputs]
-            param_arrays = [self._params[p.name] for p in node.params]
-            out_spec = specs[node.name]
-            region = chain_of[idx] if restricted else 0
-            alloc = _Alloc(arena, region=region)
-            steal_ok = not restricted or same_chain_readers(
-                root[node.inputs[0]], chain_of[idx]
-            ) if node.inputs else True
-
-            if node.op in _ALIAS_OPS and (node.op == "dropout" or xs[0].flags.c_contiguous):
-                bound[node.name] = xs[0] if node.op == "dropout" else xs[0].reshape(
-                    xs[0].shape[0], -1
-                )
-                alias_steps += 1
-            else:
-                fn, out_view, out_base, inplace = self._compile_step(
-                    node, xs, param_arrays, out_spec, alloc, root, last_use, idx,
-                    owner, steal_ok,
-                )
-                alloc.release_scratch()
-                bound[node.name] = out_view
-                owner[node.name] = out_base
-                if inplace:
-                    inplace_steps += 1
-                self._steps.append((node.name, fn))
-                chain_fns[chain_of[idx]].append(fn)
-                chain_step_names[chain_of[idx]].append(node.name)
-
-            for rname in deaths.get(idx, ()):
-                base = owner.pop(rname, None)
-                if base is None:
-                    continue
+        for s in range(slices):
+            bound: Dict[str, np.ndarray] = {}
+            owner: Dict[str, np.ndarray] = {}
+            for ext, spec in external_specs.items():
+                view, base = ext_full[ext]
+                if sample_mode:
+                    s0 = spec.shape[0]
+                    bound[ext] = view[s * s0:(s + 1) * s0]
+                else:
+                    bound[ext] = view
+                    owner[ext] = base
+            chain_fns: List[List[Callable[[], None]]] = [[] for _ in range(n_chains)]
+            steps: List[Tuple[str, Callable[[], None]]] = []
+            for idx, node in enumerate(compute):
+                xs = [bound[dep] for dep in node.inputs]
+                param_arrays = [self._params[p.name] for p in node.params]
+                out_spec = specs[node.name]
                 if not restricted:
-                    arena.release(base)
-                elif same_chain_readers(rname, chain_of[idx]):
-                    # Safe reuse: every reader runs serially before any later
-                    # step of this chain; no other chain can still be reading.
-                    arena.release(base, region=chain_of[idx])
+                    region: Any = 0
+                elif sample_mode:
+                    region = (s, chain_of[idx])
                 else:
-                    pinned_buffers += 1  # readers span chains: keep it alive
+                    region = chain_of[idx]
+                alloc = _Alloc(arena, region=region)
+                steal_ok = not restricted or same_chain_readers(
+                    root[node.inputs[0]], chain_of[idx]
+                ) if node.inputs else True
 
-        # Prune alias-only chains (they compile to no steps), folding their
-        # dependencies into their successors so the chain DAG stays closed.
-        # Chain ids are topologically ordered, so one forward pass suffices.
-        folded: List[Set[int]] = []
-        for c in range(n_chains):
-            deps_c: Set[int] = set()
-            for d in chain_deps[c]:
-                if chain_fns[d]:
-                    deps_c.add(d)
+                if node.op in _ALIAS_OPS and (node.op == "dropout" or xs[0].flags.c_contiguous):
+                    bound[node.name] = xs[0] if node.op == "dropout" else xs[0].reshape(
+                        xs[0].shape[0], -1
+                    )
+                    alias_steps += 1
                 else:
-                    deps_c |= folded[d]
-            folded.append(deps_c)
-        remap = {}
-        for c in range(n_chains):
-            if chain_fns[c]:
-                remap[c] = len(remap)
-        self._chain_fns = [chain_fns[c] for c in remap]
-        self._chain_fn_deps = [{remap[d] for d in folded[c]} for c in remap]
+                    fn, out_view, out_base, inplace = self._compile_step(
+                        node, xs, param_arrays, out_spec, alloc, root, last_use, idx,
+                        owner, steal_ok,
+                    )
+                    alloc.release_scratch()
+                    bound[node.name] = out_view
+                    owner[node.name] = out_base
+                    if inplace:
+                        inplace_steps += 1
+                    steps.append((node.name, fn))
+                    chain_fns[chain_of[idx]].append(fn)
+                    if s == 0:
+                        chain_step_names[chain_of[idx]].append(node.name)
+
+                for rname in deaths.get(idx, ()):
+                    base = owner.pop(rname, None)
+                    if base is None:
+                        continue
+                    if not restricted:
+                        arena.release(base)
+                    elif same_chain_readers(rname, chain_of[idx]):
+                        # Safe reuse: every reader runs serially before any
+                        # later step of this slice's chain; no other chain
+                        # (and no other sample) can still be reading.
+                        arena.release(base, region=region)
+                    else:
+                        pinned_buffers += 1  # readers span chains: keep it alive
+
+            # Prune alias-only chains (they compile to no steps), folding
+            # their dependencies into their successors so the chain DAG
+            # stays closed.  Chain ids are topologically ordered, so one
+            # forward pass suffices.  (Identical per slice by construction.)
+            folded: List[Set[int]] = []
+            for c in range(n_chains):
+                deps_c: Set[int] = set()
+                for d in chain_deps[c]:
+                    if chain_fns[d]:
+                        deps_c.add(d)
+                    else:
+                        deps_c |= folded[d]
+                folded.append(deps_c)
+            remap: Dict[int, int] = {}
+            for c in range(n_chains):
+                if chain_fns[c]:
+                    remap[c] = len(remap)
+            self._sample_chain_fns.append([chain_fns[c] for c in remap])
+            self._sample_chain_deps.append(
+                [{remap[d] for d in folded[c]} for c in remap])
+            self._sample_steps.append(steps)
+            self._sample_bound.append(bound)
 
         self.chain_info = ChainInfo(
             chains=tuple(tuple(names) for names in chain_step_names),
@@ -863,15 +952,16 @@ class CompiledPlan:
             roots=dict(root),
         )
         self.stats = PlanStats(
-            steps=len(self._steps),
+            steps=sum(len(steps) for steps in self._sample_steps),
             inplace_steps=inplace_steps,
             alias_steps=alias_steps,
             arena_bytes=arena.allocated_bytes,
             persistent_bytes=arena.persistent_bytes,
             buffers=arena.buffers,
             reuses=arena.reuses,
-            chains=len(self._chain_fns),
+            chains=sum(len(c) for c in self._sample_chain_fns),
             pinned_buffers=pinned_buffers,
+            sample_slices=slices,
         )
 
     def _compile_step(self, node: CNode, xs: List[np.ndarray],
@@ -982,16 +1072,41 @@ class CompiledPlan:
             self.last_intermediates = {}
             if keep_set:
                 # keep= is a debug/inspection path: run serially so captured
-                # intermediates snapshot at well-defined points.
-                for name, fn in self._steps:
-                    fn()
-                    if name in keep_set:
-                        self.last_intermediates[name] = self._bound[name].copy()
+                # intermediates snapshot at well-defined points.  Sample
+                # slices run in sample order and kept tensors are stacked
+                # back into full-batch arrays.
+                if self.sample_mode:
+                    # Snapshot kept tensors right after their producing step
+                    # — the arena reuses their storage later in the slice.
+                    kept: Dict[str, list] = {name: [] for name in keep_set}
+                    for bound, steps in zip(self._sample_bound,
+                                            self._sample_steps):
+                        for name, fn in steps:
+                            fn()
+                            if name in keep_set:
+                                kept[name].append(bound[name].copy())
+                    for name, parts in kept.items():
+                        if parts:
+                            self.last_intermediates[name] = np.concatenate(
+                                parts, axis=0)
+                else:
+                    for name, fn in self._sample_steps[0]:
+                        fn()
+                        if name in keep_set:
+                            self.last_intermediates[name] = self._bound[name].copy()
             elif self._runner is not None:
                 self._runner.run()
             else:
                 for fn in self._fns:
                     fn()
+            if self.sample_mode:
+                # Stitch per-sample result views back into one batched array
+                # (concatenate copies, so results stay valid across runs).
+                return {
+                    name: np.concatenate(
+                        [b[name] for b in self._sample_bound], axis=0)
+                    for name in self._result_names
+                }
             return {name: self._bound[name].copy() for name in self._result_names}
 
 

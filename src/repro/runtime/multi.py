@@ -275,7 +275,10 @@ class MultiClientSystem:
         All requests of a flush share one batched tail execution and finish
         together; queueing delay lands in each record's ``server_s``, so a
         client's next request is scheduled exactly as in the sequential
-        driver — ``start + total + think``.
+        driver — ``start + total + think``.  Under
+        ``SystemConfig(parallelism=...)`` that shared execution schedules
+        per-sample slices concurrently (2-D sample × chain), which changes
+        wall-clock cost only — records and outputs are bit-identical.
         """
         cfg = self.config.batching
         loop = self.loop

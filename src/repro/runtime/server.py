@@ -130,6 +130,11 @@ class EdgeServer:
         axis and zero-padded up to ``padded``; per-request output slices
         keep their leading batch-1 axis, so each reply looks exactly like a
         solo :meth:`_execute_tail` result.
+
+        With a :class:`~repro.nn.parallel.ParallelConfig` the cached
+        batched tail plan compiles per-sample step slices and this call
+        runs them as 2-D (sample × chain) tasks on the shared pool —
+        per-sample bit-identity makes that invisible in the replies.
         """
         partitioned = self.cache.get(point)
         if partitioned.tail.is_empty:

@@ -56,9 +56,10 @@ class SystemConfig:
     #: Opt-in resilient client (deadlines, retries, circuit breaker,
     #: local fallback).  None keeps the paper's trusting offload path.
     resilience: ResilienceConfig | None = None
-    #: Opt-in branch-parallel plan execution (planned backend only):
-    #: independent DAG chains run on a shared thread pool, bit-identical
-    #: to serial execution.  None keeps plans serial.
+    #: Opt-in parallel plan execution (planned backend only): independent
+    #: DAG chains — and, for batched plans, per-sample slices — run as
+    #: (sample × chain) tasks on a shared thread pool, bit-identical to
+    #: serial execution.  None keeps plans serial.
     parallelism: ParallelConfig | None = None
 
     def __post_init__(self) -> None:

@@ -11,7 +11,7 @@ from repro.core.partition_algorithm import (
     compute_suffix_edge,
     partition_decision,
 )
-from tests.helpers import brute_force
+from tests.helpers import ZOO, brute_force
 
 
 times = st.lists(st.floats(0.0, 1.0), min_size=1, max_size=40)
@@ -50,6 +50,39 @@ class TestAgainstBruteForce:
         bf_p, bf_val = brute_force(device, edge, sizes, 8e6, 2.0, 4e6, 4000)
         assert decision.point == bf_p
         assert decision.predicted_latency == pytest.approx(bf_val, rel=1e-9)
+
+
+class TestZooAgainstBruteForce:
+    """Algorithm 1 == brute-force argmin on every *real* zoo profile.
+
+    The synthetic sweeps above draw random per-node times; this property
+    runs the same check over the profiled device/edge times and transfer
+    sizes of every zoo model, with random network conditions — the inputs
+    the online decision loop actually sees.
+    """
+
+    @pytest.mark.parametrize("model_name", ZOO)
+    @given(
+        bw=st.floats(1e5, 1e8),
+        k=st.floats(1.0, 500.0),
+        bw_down=st.one_of(st.none(), st.floats(1e5, 1e8)),
+        out_bytes=st.integers(0, 10**6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_zoo_profiles_match_brute_force(self, engine_for, model_name,
+                                            bw, k, bw_down, out_bytes):
+        engine = engine_for(model_name)
+        device, edge, sizes = (engine.device_times, engine.edge_times,
+                               engine.sizes)
+        decision = partition_decision(
+            device, edge, sizes, bw, k=k,
+            bandwidth_down=bw_down, output_bytes=out_bytes,
+        )
+        bf_p, bf_val = brute_force(device, edge, sizes, bw, k,
+                                   bw_down, out_bytes)
+        assert decision.point == bf_p
+        assert decision.predicted_latency == pytest.approx(
+            bf_val, rel=1e-9, abs=1e-12)
 
 
 class TestSemantics:

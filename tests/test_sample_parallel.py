@@ -1,0 +1,213 @@
+"""Per-sample parallel batched plans: 2-D (sample × chain) bit-identity.
+
+The sample-parallel contract extends the PR 2 batched contract and the
+PR 4 parallel contract at once: a plan compiled with ``batch=n`` and
+``ParallelConfig(threads=t, sample_parallel=True)`` must produce output
+**byte-for-byte equal** to the serial batched plan — and therefore,
+per sample, to ``n`` independent naive batch-1 runs.  Only the
+interleaving of (sample, chain) tasks may change — never a kernel, never
+a reduction order, because each sample's compiled steps *are* the batch-1
+compile steps bound over a per-sample view of the shared batch buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.partitioner import GraphPartitioner
+from repro.models import build_model
+from repro.nn import GraphExecutor, SegmentExecutor
+from repro.nn.parallel import ParallelConfig, SampleParallelRunner
+from repro.nn.plan import GraphPlan, SegmentPlan
+from tests.helpers import (
+    SWEEP_ZOO,
+    assert_per_sample_bit_identical,
+    sample_inputs,
+    sampled_points,
+)
+
+THREAD_COUNTS = (1, 2, 8)
+BATCHES = (2, 4, 8)
+
+
+class TestSampleParallelZooSweep:
+    """sample-parallel == serial batched plan == naive oracle, byte for byte."""
+
+    @pytest.mark.parametrize("batch", BATCHES)
+    @pytest.mark.parametrize("model_name", SWEEP_ZOO)
+    def test_full_graph_bit_identical(self, model_name, batch):
+        graph = build_model(model_name)
+        serial = GraphExecutor(graph, seed=0, backend="planned", batch=batch)
+        # serial batched plan == independent naive batch-1 runs, per sample ...
+        out_serial = assert_per_sample_bit_identical(graph, serial, batch)
+        xs = sample_inputs(graph, batch)
+        x = np.concatenate(xs, axis=0)
+        # ... and sample-parallel == serial batched, for every thread count.
+        for threads in THREAD_COUNTS:
+            parallel = GraphExecutor(
+                graph, seed=0, params=serial.params, backend="planned",
+                batch=batch, parallelism=ParallelConfig(threads=threads),
+            )
+            out = parallel.run(x)
+            assert out.tobytes() == out_serial.tobytes(), \
+                f"{model_name} batch={batch} threads={threads} diverged"
+            # Workspace reuse across runs must stay deterministic too.
+            assert parallel.run(x).tobytes() == out_serial.tobytes()
+
+    @pytest.mark.parametrize("model_name", SWEEP_ZOO)
+    def test_batched_tail_segments_bit_identical(self, model_name):
+        """Batched tails at sampled partition points — the server-side path."""
+        batch = 4
+        graph = build_model(model_name)
+        partitioner = GraphPartitioner(graph)
+        params = GraphExecutor(graph, seed=0, backend="planned").params
+        xs = sample_inputs(graph, batch)
+        for point in sampled_points(graph, count=2):
+            partitioned = partitioner.partition(point)
+            head = SegmentExecutor(partitioned.head, params=params)
+            tail_names = list(partitioned.tail.boundary_inputs)
+            per_sample, boundary = [], {}
+            for x in xs:
+                head_out = head.run({name: x for name
+                                     in partitioned.head.boundary_inputs})
+                per_sample.append({
+                    name: (x if name == graph.input_name else head_out[name])
+                    for name in tail_names
+                })
+            for name in tail_names:
+                boundary[name] = np.concatenate(
+                    [s[name] for s in per_sample], axis=0)
+            tail_serial = SegmentExecutor(
+                partitioned.tail, params=params, backend="planned", batch=batch,
+            ).run(boundary)
+            # Serial batched tail == per-sample naive tails (the oracle).
+            tail_naive = SegmentExecutor(partitioned.tail, params=params)
+            for i, sample_boundary in enumerate(per_sample):
+                ref = tail_naive.run(sample_boundary)
+                for name, want in ref.items():
+                    assert np.array_equal(tail_serial[name][i:i + 1], want), \
+                        f"{model_name} point={point} sample {i} tensor {name}"
+            # Sample-parallel batched tail == serial batched tail, bytewise.
+            for threads in THREAD_COUNTS:
+                tail_par = SegmentExecutor(
+                    partitioned.tail, params=params, backend="planned",
+                    batch=batch, parallelism=ParallelConfig(threads=threads),
+                ).run(boundary)
+                for name in tail_serial:
+                    assert tail_par[name].tobytes() == \
+                        tail_serial[name].tobytes(), \
+                        f"{model_name} point={point} threads={threads} {name}"
+
+
+class TestSampleSlicing:
+    """Structural properties of the per-sample compile."""
+
+    def test_batched_plan_slices_per_sample(self):
+        plan = GraphPlan(build_model("squeezenet"), batch=4,
+                         parallel=ParallelConfig(threads=2))
+        assert plan.stats.sample_slices == 4
+        # 2-D task graph: chains count tasks across every sample slice.
+        chains_per_sample = GraphPlan(
+            build_model("squeezenet"), parallel=ParallelConfig(threads=2),
+        ).stats.chains
+        assert plan.stats.chains == 4 * chains_per_sample
+
+    def test_serial_backbone_still_gains_sample_axis(self):
+        """AlexNet has one chain, but batch=4 yields four parallel tasks."""
+        plan = GraphPlan(build_model("alexnet"), batch=4,
+                         parallel=ParallelConfig(threads=2))
+        assert plan.stats.sample_slices == 4
+        assert plan.stats.chains == 4
+
+    def test_sample_parallel_false_is_chain_only(self):
+        """The control arm compiles exactly like PR 4's batched chain plan."""
+        graph = build_model("squeezenet")
+        batch = 4
+        control = GraphPlan(
+            graph, batch=batch,
+            parallel=ParallelConfig(threads=2, sample_parallel=False))
+        assert control.stats.sample_slices == 1
+        serial = GraphExecutor(graph, seed=0, backend="planned", batch=batch,
+                               params=control.params)
+        xs = sample_inputs(graph, batch)
+        x = np.concatenate(xs, axis=0)
+        assert control.run(x).tobytes() == serial.run(x).tobytes()
+
+    def test_batch_one_never_sample_slices(self):
+        plan = GraphPlan(build_model("squeezenet"), batch=1,
+                         parallel=ParallelConfig(threads=2))
+        assert plan.stats.sample_slices == 1
+
+    def test_serial_batched_plan_unsliced(self):
+        """No ParallelConfig => the PR 2 batched compile, untouched."""
+        plan = GraphPlan(build_model("alexnet"), batch=4)
+        assert plan.stats.sample_slices == 1
+        assert plan.stats.pinned_buffers == 0
+
+    def test_keep_intermediates_concatenate_across_samples(self):
+        """``keep=`` must return full-batch tensors in sample mode."""
+        graph = build_model("alexnet")
+        batch = 3
+        serial = GraphExecutor(graph, seed=0, backend="planned", batch=batch)
+        parallel = GraphExecutor(
+            graph, seed=0, params=serial.params, backend="planned",
+            batch=batch, parallelism=ParallelConfig(threads=2),
+        )
+        keep = [graph.topological_order()[1]]
+        xs = sample_inputs(graph, batch)
+        x = np.concatenate(xs, axis=0)
+        serial.run(x, keep=keep)
+        parallel.run(x, keep=keep)
+        for name in keep:
+            want = serial.last_intermediates[name]
+            got = parallel.last_intermediates[name]
+            assert got.shape[0] == batch
+            assert got.tobytes() == want.tobytes()
+
+    def test_segment_plan_sample_slices(self):
+        graph = build_model("resnet18")
+        point = sampled_points(graph, count=1)[0]
+        tail = GraphPartitioner(graph).partition(point).tail
+        plan = SegmentPlan(tail, batch=4, parallel=ParallelConfig(threads=2))
+        assert plan.stats.sample_slices == 4
+
+
+class TestSampleParallelRunner:
+    def test_folds_sample_dags_with_offsets(self):
+        order = []
+
+        def step(tag):
+            return lambda: order.append(tag)
+
+        runner = SampleParallelRunner(
+            sample_chains=[[[step("a0")], [step("b0")]],
+                           [[step("a1")], [step("b1")]]],
+            sample_deps=[[set(), {0}], [set(), {0}]],
+            threads=1,
+        )
+        assert runner.samples == 2
+        runner.run()
+        # Per-sample dependency order holds regardless of interleaving.
+        assert order.index("a0") < order.index("b0")
+        assert order.index("a1") < order.index("b1")
+        assert sorted(order) == ["a0", "a1", "b0", "b1"]
+
+    def test_validates_shapes(self):
+        with pytest.raises(ValueError, match="one-to-one"):
+            SampleParallelRunner([[[lambda: None]]], [], threads=2)
+        with pytest.raises(ValueError, match="at least one"):
+            SampleParallelRunner([], [], threads=2)
+
+    def test_cross_sample_runs_complete_under_contention(self):
+        """Many samples × chains on a small pool: no lost tasks, no hang."""
+        hits = []
+        lock_free_append = hits.append  # list.append is atomic under the GIL
+        sample_chains, sample_deps = [], []
+        for s in range(6):
+            sample_chains.append(
+                [[lambda s=s, c=c: lock_free_append((s, c))] for c in range(5)])
+            sample_deps.append([set() if c == 0 else {c - 1} for c in range(5)])
+        runner = SampleParallelRunner(sample_chains, sample_deps, threads=4)
+        runner.run()
+        assert sorted(hits) == [(s, c) for s in range(6) for c in range(5)]

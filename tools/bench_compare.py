@@ -27,6 +27,15 @@ reach the 1.2x speedup floor (skipped, loudly, when the candidate host
 has fewer than two CPUs — parallelism cannot pay off there), no serial
 control model may slow down more than 5%, and bit-identity must hold
 everywhere.
+
+``BENCH_parallel_samples.json`` reports gate the same way on the 2-D
+(sample × chain) grid: at least one ``sample_parallel`` cell must reach
+the 1.2x floor on 2+ CPU hosts, ``serial_control`` cells (threads=1 on a
+single-chain backbone) stay within 5%, and bit-identity — sample-parallel
+output vs the serial batched plan vs per-sample naive runs — is enforced
+unconditionally.  ``chain_only`` and ``branchy_serial`` cells are
+informational (the former is gated by the parallel_chains report, the
+latter carries PR 4's accepted chain-compile overhead).
 """
 
 from __future__ import annotations
@@ -43,6 +52,10 @@ DEFAULT_THRESHOLD = 0.15
 #: serial-plan time.
 BRANCHY_SPEEDUP_FLOOR = 1.2
 SERIAL_CONTROL_TOLERANCE = 0.05
+
+#: parallel_samples gate: ≥1.2x on at least one (batch, threads) cell
+#: that schedules samples in parallel (multi-core hosts only).
+SAMPLE_SPEEDUP_FLOOR = 1.2
 
 
 def load(path: pathlib.Path) -> dict:
@@ -148,6 +161,62 @@ def compare_parallel(baseline: dict, candidate: dict,
     return regressions
 
 
+def compare_parallel_samples(baseline: dict, candidate: dict,
+                             threshold: float) -> list[str]:
+    """Gate per-sample parallel batched plans on the candidate's report.
+
+    Mirrors :func:`compare_parallel`: speedup depends on the candidate
+    host's core count, so the baseline provides side-by-side context only.
+    Hard gates are the sample-parallel speedup floor (2+ CPU hosts), the
+    serial-control bound, and bit-identity everywhere.
+    """
+    regressions: list[str] = []
+    base_results = baseline["results"]
+    cand_results = candidate["results"]
+    cpus = (candidate.get("host") or {}).get("cpus") or 0
+    best: tuple[str, float] | None = None
+    for name in sorted(cand_results):
+        entry = cand_results[name]
+        speedup = entry["speedup"]
+        marker = ""
+        if not entry.get("bit_identical", False):
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: sample-parallel output not bit-identical")
+        if entry["role"] == "sample_parallel":
+            if best is None or speedup > best[1]:
+                best = (name, speedup)
+        elif (entry["role"] == "serial_control"
+              and speedup < 1.0 - SERIAL_CONTROL_TOLERANCE):
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: serial control slowed {entry['serial_ms']:.1f} -> "
+                f"{entry['parallel_ms']:.1f} ms ({speedup:.2f}x < "
+                f"{1.0 - SERIAL_CONTROL_TOLERANCE:.2f}x)")
+        base = base_results.get(name)
+        context = (f"baseline {base['speedup']:.2f}x  " if base else "")
+        print(f"{name:18s} ({entry['role']:15s}) serial "
+              f"{entry['serial_ms']:9.1f} ms  parallel "
+              f"{entry['parallel_ms']:9.1f} ms  {context}"
+              f"speedup {speedup:.2f}x{marker}")
+    if best is None:
+        raise SystemExit("candidate report has no sample_parallel cells; "
+                         "nothing to gate")
+    if cpus >= 2:
+        if best[1] < SAMPLE_SPEEDUP_FLOOR:
+            regressions.append(
+                f"best sample-parallel speedup {best[1]:.2f}x ({best[0]}) "
+                f"below the {SAMPLE_SPEEDUP_FLOOR:.1f}x floor on {cpus} cpus")
+        else:
+            print(f"\nsample-parallel floor met: {best[0]} "
+                  f"{best[1]:.2f}x >= {SAMPLE_SPEEDUP_FLOOR:.1f}x "
+                  f"on {cpus} cpus")
+    else:
+        print(f"\nsample-parallel speedup floor skipped: candidate host has "
+              f"{cpus} cpu(s); sample parallelism cannot pay off")
+    return regressions
+
+
 def compare(baseline: dict, candidate: dict, threshold: float,
             metric: str = "planned_ms") -> list[str]:
     """Returns a list of human-readable regression messages (empty = pass)."""
@@ -199,7 +268,7 @@ def main(argv=None) -> int:
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
-    for kind in ("resilience", "parallel_chains"):
+    for kind in ("resilience", "parallel_chains", "parallel_samples"):
         if (baseline.get("benchmark") == kind) != (candidate.get("benchmark") == kind):
             raise SystemExit(f"cannot compare a {kind} report against "
                              "a different benchmark type")
@@ -207,6 +276,9 @@ def main(argv=None) -> int:
         regressions = compare_resilience(baseline, candidate, args.threshold)
     elif baseline.get("benchmark") == "parallel_chains":
         regressions = compare_parallel(baseline, candidate, args.threshold)
+    elif baseline.get("benchmark") == "parallel_samples":
+        regressions = compare_parallel_samples(baseline, candidate,
+                                               args.threshold)
     else:
         regressions = compare(baseline, candidate,
                               args.threshold, metric=args.metric)
