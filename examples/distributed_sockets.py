@@ -1,105 +1,43 @@
 """Real two-process offloading over TCP: the protocol, not a simulation.
 
-Spawns an edge-server process listening on localhost, then acts as the
-user-end device: it runs Algorithm 1, executes the head segment with the
-NumPy executor, ships the intermediate tensor (plus the partition point)
-over a real socket, and receives the classification result back — the
-paper's Fig. 3 data path end to end.  Both processes build identical
-weights from the shared model definition, so no parameters cross the wire.
+A thin driver over :mod:`repro.runtime.transport`: spawns an edge-server
+process, runs Algorithm 1's joint (point, codec) decision, executes the
+head segment locally, then ships the crossing tensors twice — once as a
+monolithic fp32 upload and once streamed in chunks with the decided codec
+— and checks both replies against local execution.  The streamed request
+lets the server decode tensors and start tail chains while later bytes
+are still in flight; its ``tail_s`` (server time exposed after the last
+byte) is the real-socket counterpart of the simulator's overlap credit.
 
 Run:  python examples/distributed_sockets.py
 """
 
 from __future__ import annotations
 
-import json
+import asyncio
 import multiprocessing
-import socket
-import struct
 import time
 
 import numpy as np
 
 from repro import GraphPartitioner, LoADPartEngine, OfflineProfiler, build_model
-from repro.core.cache import PartitionCache
+from repro.network.streaming import StreamingConfig
 from repro.nn import GraphExecutor, SegmentExecutor
+from repro.runtime.transport import TransportClient, run_server
 
 MODEL = "squeezenet"
 SEED = 42
 HOST, PORT = "127.0.0.1", 47123
+BANDWIDTH = 8e6
 
 
-def send_msg(sock: socket.socket, header: dict, payload: bytes = b"") -> None:
-    head = json.dumps(header).encode()
-    sock.sendall(struct.pack("!II", len(head), len(payload)) + head + payload)
-
-
-def recv_msg(sock: socket.socket) -> tuple[dict, bytes]:
-    raw = recv_exact(sock, 8)
-    head_len, payload_len = struct.unpack("!II", raw)
-    header = json.loads(recv_exact(sock, head_len).decode())
-    return header, recv_exact(sock, payload_len)
-
-
-def recv_exact(sock: socket.socket, n: int) -> bytes:
-    buf = b""
-    while len(buf) < n:
-        chunk = sock.recv(n - len(buf))
-        if not chunk:
-            raise ConnectionError("peer closed")
-        buf += chunk
-    return buf
-
-
-def server_process(ready: multiprocessing.Event) -> None:
-    """The edge server: loads the model, serves partition tails."""
-    graph = build_model(MODEL)
-    executor = GraphExecutor(graph, seed=SEED)  # identical weights via seed
-    cache = PartitionCache(GraphPartitioner(graph))
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as srv:
-        srv.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        srv.bind((HOST, PORT))
-        srv.listen(1)
-        ready.set()
-        conn, _addr = srv.accept()
-        with conn:
-            while True:
-                try:
-                    header, payload = recv_msg(conn)
-                except ConnectionError:
-                    break
-                if header.get("op") == "shutdown":
-                    break
-                point = header["point"]
-                part = cache.get(point)
-                boundary = {}
-                cursor = 0
-                for name, meta in header["tensors"].items():
-                    nbytes = int(np.prod(meta["shape"])) * 4
-                    arr = np.frombuffer(
-                        payload[cursor:cursor + nbytes], dtype=np.float32
-                    ).reshape(meta["shape"])
-                    boundary[name] = arr
-                    cursor += nbytes
-                t0 = time.perf_counter()
-                tail = SegmentExecutor(part.tail, params=executor.params)
-                result = tail.run(boundary)[graph.output_name]
-                exec_s = time.perf_counter() - t0
-                send_msg(conn, {"exec_ms": exec_s * 1e3,
-                                "shape": list(result.shape)},
-                         np.ascontiguousarray(result).tobytes())
-
-
-def main() -> None:
-    ready = multiprocessing.Event()
-    server = multiprocessing.Process(target=server_process, args=(ready,), daemon=True)
-    server.start()
-    ready.wait(timeout=10)
-
-    graph = build_model(MODEL)
-    report = OfflineProfiler(samples_per_category=250, seed=7).run()
-    engine = LoADPartEngine(graph, report.user_predictor, report.edge_predictor)
-    point = engine.decide(8e6).point
+async def drive(engine: LoADPartEngine) -> None:
+    graph = engine.graph
+    # 4 KiB chunks so the streamed arm visibly pipelines (SqueezeNet's
+    # compressed cut is ~15 kB; the 32 KiB default would be one chunk).
+    streaming = StreamingConfig(chunk_bytes=4096)
+    joint = engine.decide_joint(BANDWIDTH, streaming=streaming)
+    point = joint.point
     part = GraphPartitioner(graph).partition(point)
     executor = GraphExecutor(graph, seed=SEED)
 
@@ -108,8 +46,9 @@ def main() -> None:
     reference = executor.run(x)
 
     head = SegmentExecutor(part.head, params=executor.params)
-    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
-        sock.connect((HOST, PORT))
+    wire_order = [name for name, _nb, _op in engine.cut_tensors(point)]
+    client = await TransportClient.connect(HOST, PORT)
+    try:
         for i in range(3):
             t0 = time.perf_counter()
             boundary = head.run({graph.input_name: x}) if point > 0 else {}
@@ -117,25 +56,41 @@ def main() -> None:
                 boundary[graph.input_name] = x
             device_s = time.perf_counter() - t0
 
-            header = {
-                "point": point,
-                "tensors": {k: {"shape": list(v.shape)} for k, v in boundary.items()},
-            }
-            payload = b"".join(np.ascontiguousarray(v).tobytes() for v in boundary.values())
-            t1 = time.perf_counter()
-            send_msg(sock, header, payload)
-            reply, result_bytes = recv_msg(sock)
-            round_trip_s = time.perf_counter() - t1
-            result = np.frombuffer(result_bytes, dtype=np.float32).reshape(reply["shape"])
+            for label, codec, chunk_bytes in (
+                ("monolithic fp32", "fp32", None),
+                (f"streamed {joint.codec}", joint.codec, streaming.chunk_bytes),
+            ):
+                t1 = time.perf_counter()
+                out = await client.offload(
+                    point, boundary, codec=codec,
+                    chunk_bytes=chunk_bytes, order=wire_order)
+                round_trip_s = time.perf_counter() - t1
+                err = float(np.abs(out.result - reference).max())
+                print(f"request {i + 1} [{label:>16}]: p={point}, "
+                      f"shipped {out.wire_bytes / 1e3:.1f} kB in {out.chunks} "
+                      f"chunk(s), device {device_s * 1e3:.1f} ms, server "
+                      f"{out.server_s * 1e3:.1f} ms (tail {out.tail_s * 1e3:.1f} ms), "
+                      f"round-trip {round_trip_s * 1e3:.1f} ms, max|err|={err:.1e}")
+                assert err < 1e-4
+        await client.shutdown_server()
+    finally:
+        await client.close()
 
-            err = float(np.abs(result - reference).max())
-            print(f"request {i + 1}: p={point}, shipped {len(payload) / 1e3:.1f} kB, "
-                  f"device {device_s * 1e3:.1f} ms, server {reply['exec_ms']:.1f} ms, "
-                  f"round-trip {round_trip_s * 1e3:.1f} ms, max|err|={err:.1e}")
-            assert err < 1e-4
-        send_msg(sock, {"op": "shutdown"})
+
+def main() -> None:
+    ready = multiprocessing.Event()
+    server = multiprocessing.Process(
+        target=run_server, args=(MODEL, SEED, PORT, ready), daemon=True)
+    server.start()
+    if not ready.wait(timeout=30):
+        raise RuntimeError("server did not come up")
+
+    graph = build_model(MODEL)
+    report = OfflineProfiler(samples_per_category=250, seed=7).run()
+    engine = LoADPartEngine(graph, report.user_predictor, report.edge_predictor)
+    asyncio.run(drive(engine))
     server.join(timeout=5)
-    print("distributed result identical to local execution")
+    print("distributed results identical to local execution")
 
 
 if __name__ == "__main__":

@@ -6,12 +6,32 @@ Algorithm 1 are computed exactly once at construction; each call to
 :meth:`decide` is then a single O(n) scan with the current bandwidth
 estimate and the latest influential factor ``k`` multiplied onto the
 suffix sum, exactly as the paper's implementation does.
+
+:meth:`decide_joint` extends the scan to the streaming pipeline: for
+every candidate codec it folds the declared encode/decode times and wire
+sizes into the prefix/suffix cost terms, and for chunked uploads it
+credits upload/compute overlap using the *release schedule* of the tail
+— tail node ``j`` cannot start before the last crossing tensor it
+(transitively, in execution order) depends on has arrived, so the
+pipelined finish time is
+
+    max over release breakpoints v of
+        frac_v * t_up + decode_cum_v + k * suffix[jstart_v]
+
+where ``frac_v`` is the cumulative wire fraction at which crossing
+tensor ``v`` completes.  The load factor ``k`` still scales every
+server-side compute term; decode runs on the server CPU and is charged
+unscaled.  With the identity codec and no chunking the joint scan
+reduces to exactly Algorithm 1 (bit-for-bit the same candidate vector).
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
 
 from repro.core.partition_algorithm import (
     PartitionDecision,
@@ -22,6 +42,33 @@ from repro.core.partition_algorithm import (
 from repro.graph.graph import ComputationGraph
 from repro.profiling.features import NodeProfile, profile_graph
 from repro.profiling.predictor import LatencyPredictor
+
+
+@dataclass(frozen=True)
+class JointDecision:
+    """Result of one joint ``(partition point, codec, chunking)`` decision.
+
+    ``candidates`` maps ``(codec, mode)`` — mode ``"mono"`` or
+    ``"stream"`` — to the full objective vector over partition points,
+    for tests and Fig. 1-style landscapes.
+    """
+
+    point: int
+    codec: str
+    streamed: bool
+    chunks: int
+    predicted_latency: float
+    predicted_device_s: float
+    predicted_encode_s: float
+    predicted_upload_s: float
+    predicted_decode_s: float
+    predicted_server_s: float
+    wire_bytes: int
+    candidates: Dict[Tuple[str, str], np.ndarray]
+
+    @property
+    def is_local(self) -> bool:
+        return self.point == len(next(iter(self.candidates.values()))) - 1
 
 
 class LoADPartEngine:
@@ -44,7 +91,8 @@ class LoADPartEngine:
         self.profiles: List[NodeProfile] = profile_graph(graph)
         self.device_times = user_predictor.predict_nodes(self.profiles)
         self.edge_times = edge_predictor.predict_nodes(self.profiles)
-        sizes = graph.transmission_sizes()
+        self._cuts = graph.cuts()
+        sizes = [cut.upload_bytes for cut in self._cuts]
         if upload_codec is not None:
             # Compressed uploads (codec extension): the decision sees the
             # wire sizes, which shifts the optimum toward earlier cuts.
@@ -53,6 +101,12 @@ class LoADPartEngine:
         self.output_bytes = graph.output_spec.nbytes
         self._prefix = compute_prefix_device(self.device_times)
         self._suffix = compute_suffix_edge(self.edge_times)
+        # Lazy streaming caches: per-codec wire-size vectors, per-point
+        # cut-tensor metadata and release-schedule breakpoints.
+        self._codec_cache: Dict[str, object] = {}
+        self._wire_cache: Dict[str, np.ndarray] = {}
+        self._cut_tensor_cache: Dict[int, Tuple[Tuple[str, int, str], ...]] = {}
+        self._release_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     @property
     def num_nodes(self) -> int:
@@ -63,6 +117,7 @@ class LoADPartEngine:
         bandwidth_up: float,
         k: float = 1.0,
         bandwidth_down: float | None = None,
+        offload_only: bool = False,
     ) -> PartitionDecision:
         """Run Algorithm 1 under the given link/load conditions."""
         return partition_decision(
@@ -75,6 +130,256 @@ class LoADPartEngine:
             output_bytes=self.output_bytes,
             prefix=self._prefix,
             suffix=self._suffix,
+            offload_only=offload_only,
+        )
+
+    # -- streaming: joint (point, codec, chunking) decision ------------------
+
+    def codec(self, name: str):
+        """Cached :class:`~repro.network.codec.TensorCodec` by name."""
+        if name not in self._codec_cache:
+            # Deferred import: repro.core loads before repro.network in the
+            # package __init__ chain.
+            from repro.network.codec import TensorCodec
+
+            self._codec_cache[name] = TensorCodec(name)
+        return self._codec_cache[name]
+
+    def cut_tensors(self, point: int) -> Tuple[Tuple[str, int, str], ...]:
+        """Crossing tensors of cut ``point`` in *wire* order.
+
+        Each entry is ``(producer_name, fp32_bytes, producer_op)``; the
+        graph input is reported with op ``"input"``.  Tensors are ordered
+        by the position of their first consumer in the tail — the device
+        serializes the tensor the server needs soonest first, which is
+        what makes arrival-gated overlap possible at all (production
+        order would often ship the immediately-needed tensor *last*).
+        Ties break on production order, so single-tensor cuts and chain
+        graphs are unaffected.
+        """
+        self._check_point(point)
+        if point not in self._cut_tensor_cache:
+            graph = self.graph
+            order = graph.topological_order()
+            first_consumer = {}
+            for j in range(point, len(order)):
+                for dep in graph.node(order[j]).inputs:
+                    first_consumer.setdefault(dep, j)
+            tensors = []
+            for prod_idx, name in enumerate(self._cuts[point].crossing):
+                if name == graph.input_name:
+                    entry = (name, graph.input_spec.nbytes, "input")
+                else:
+                    node = graph.node(name)
+                    entry = (name, node.output.nbytes, node.op)
+                tensors.append(
+                    (first_consumer.get(name, len(order)), prod_idx, entry))
+            tensors.sort(key=lambda t: t[:2])
+            self._cut_tensor_cache[point] = tuple(e for _f, _p, e in tensors)
+        return self._cut_tensor_cache[point]
+
+    def _release_entries(self, point: int) -> Tuple[Tuple[int, int], ...]:
+        """Release schedule of the tail at cut ``point``.
+
+        Entries ``(v, jstart)``: the run of tail nodes starting at
+        topological index ``jstart`` cannot begin before crossing tensor
+        ``v`` (index into :meth:`cut_tensors`) has arrived.  The release
+        index is a running maximum over execution order, so entries are
+        strictly increasing in both components.
+        """
+        if point not in self._release_cache:
+            order = self.graph.topological_order()
+            idx = {name: i for i, (name, _nb, _op) in
+                   enumerate(self.cut_tensors(point))}
+            entries = []
+            release = -1
+            for j in range(point, len(order)):
+                node = self.graph.node(order[j])
+                needed = max((idx[dep] for dep in node.inputs if dep in idx),
+                             default=-1)
+                if needed > release:
+                    release = needed
+                    entries.append((release, j))
+            self._release_cache[point] = tuple(entries)
+        return self._release_cache[point]
+
+    def release_schedule(self, point: int) -> Tuple[Tuple[str, int], ...]:
+        """Arrival gates of the tail at cut ``point``, by tensor *name*.
+
+        Each entry ``(tensor_name, jstart)`` says: the run of tail nodes
+        starting at topological index ``jstart`` cannot begin before the
+        crossing tensor ``tensor_name`` is available on the server.  This
+        is :meth:`_release_entries` translated for the runtime, which keys
+        uploaded tensors by producer name.
+        """
+        names = [name for name, _nb, _op in self.cut_tensors(point)]
+        return tuple((names[v], j) for v, j in self._release_entries(point))
+
+    def _wire_sizes(self, codec_name: str) -> np.ndarray:
+        """Declared wire bytes per partition point for ``codec_name``."""
+        if codec_name not in self._wire_cache:
+            codec = self.codec(codec_name)
+            n = self.num_nodes
+            wire = np.zeros(n + 1, dtype=np.int64)
+            if codec_name == "fp32":
+                # Identity codec: the wire size IS the raw cut size --
+                # computed from the same array as Algorithm 1 so the
+                # degenerate joint scan is bit-identical to decide().
+                wire[:] = [cut.upload_bytes for cut in self._cuts]
+            else:
+                for p in range(n):
+                    wire[p] = sum(codec.wire_bytes(nb, op)
+                                  for _name, nb, op in self.cut_tensors(p))
+            self._wire_cache[codec_name] = wire
+        return self._wire_cache[codec_name]
+
+    def decide_joint(self, bandwidth_up: float, k: float = 1.0,
+                     streaming=None,
+                     bandwidth_down: float | None = None,
+                     offload_only: bool = False) -> JointDecision:
+        """Jointly pick ``(partition point, codec, chunking)``.
+
+        For every candidate codec the mono (whole-tensor upload) objective
+        adds the declared encode/decode terms to Algorithm 1; the streamed
+        objective additionally credits upload/compute overlap via the tail
+        release schedule (see the module docstring).  Ties break toward
+        earlier codecs in ``streaming.codecs`` and the monolithic mode, and
+        within one objective vector toward the latest point, exactly like
+        Algorithm 1 — so ``StreamingConfig(codecs=("fp32",),
+        chunk_bytes=None)`` reproduces :meth:`decide` verbatim.
+        """
+        if streaming is None:
+            raise ValueError("decide_joint requires a StreamingConfig")
+        if self.upload_codec is not None:
+            raise ValueError(
+                "decide_joint is incompatible with a static upload_codec; "
+                "list the codec in StreamingConfig.codecs instead")
+        if bandwidth_up <= 0:
+            raise ValueError("upload bandwidth must be positive")
+        if k < 1.0:
+            raise ValueError(f"the influential factor k must be >= 1, got {k}")
+        download = 0.0
+        if bandwidth_down is not None:
+            if bandwidth_down <= 0:
+                raise ValueError("download bandwidth must be positive")
+            download = self.output_bytes * 8 / bandwidth_down
+
+        n = self.num_nodes
+        raw = np.asarray([cut.upload_bytes for cut in self._cuts],
+                         dtype=np.float64)
+        candidates: Dict[Tuple[str, str], np.ndarray] = {}
+        best = None  # (value, point, codec, mode) under strict-< combo order
+
+        for name in streaming.codecs:
+            codec = self.codec(name)
+            wire = self._wire_sizes(name)
+            enc = codec.encode_time_s(raw)
+            dec = codec.decode_time_s(raw)
+            t_up = wire.astype(np.float64) * 8 / bandwidth_up
+
+            mono = self._prefix + k * self._suffix
+            mono[:-1] += t_up[:-1] + download
+            mono += enc + dec
+            candidates[(name, "mono")] = mono
+
+            modes = [("mono", mono)]
+            if streaming.chunk_bytes is not None:
+                stream = np.full(n + 1, np.inf)
+                for p in range(n):
+                    total_wire = int(wire[p])
+                    chunks = streaming.num_chunks(total_wire)
+                    if chunks <= 1:
+                        continue  # single chunk == the monolithic candidate
+                    tensors = self.cut_tensors(p)
+                    cum_wire = np.cumsum(
+                        [codec.wire_bytes(nb, op) for _n, nb, op in tensors])
+                    t_stream = (total_wire * 8 / bandwidth_up
+                                + (chunks - 1) * streaming.chunk_overhead_s)
+                    # Per-tensor availability on the server: tensor v is
+                    # decodable once its last byte lands (its wire-prefix
+                    # fraction of the stream) and the decoder — which works
+                    # through tensors in wire order — gets to it.
+                    avail = []
+                    busy = 0.0
+                    for v, (_nm, nb, _op) in enumerate(tensors):
+                        arrival = cum_wire[v] / cum_wire[-1] * t_stream
+                        busy = max(arrival, busy) + codec.decode_time_s(
+                            float(nb))
+                        avail.append(busy)
+                    finish = 0.0
+                    for v, jstart in self._release_entries(p):
+                        term = avail[v] + k * self._suffix[jstart]
+                        finish = max(finish, term)
+                    stream[p] = self._prefix[p] + enc[p] + finish + download
+                candidates[(name, "stream")] = stream
+                modes.append(("stream", stream))
+
+            for mode, arr in modes:
+                scan = arr[:-1] if offload_only else arr
+                point = int(len(scan) - 1 - np.argmin(scan[::-1]))
+                value = float(scan[point])
+                if np.isfinite(value) and (best is None or value < best[0]):
+                    best = (value, point, name, mode)
+
+        value, point, name, mode = best
+        return self._build_joint(point, name, mode, value, candidates,
+                                 streaming, bandwidth_up, k)
+
+    def joint_at(self, point: int, codec_name: str, streamed: bool,
+                 bandwidth_up: float, k: float = 1.0,
+                 streaming=None,
+                 bandwidth_down: float | None = None) -> JointDecision:
+        """A :class:`JointDecision` pinned to ``(point, codec, mode)``.
+
+        Runs the same candidate computation as :meth:`decide_joint` but
+        skips the argmin: benchmarks and tests use this to compare arms at
+        one fixed cut (e.g. streaming+zlib vs monolithic fp32 at the same
+        transfer-dominated point).
+        """
+        self._check_point(point)
+        jd = self.decide_joint(bandwidth_up, k=k, streaming=streaming,
+                               bandwidth_down=bandwidth_down)
+        mode = "stream" if streamed else "mono"
+        key = (codec_name, mode)
+        if key not in jd.candidates:
+            raise ValueError(
+                f"no candidate vector for {key}; streaming config offers "
+                f"{sorted(jd.candidates)}")
+        value = float(jd.candidates[key][point])
+        if not math.isfinite(value):
+            raise ValueError(
+                f"{key} is infeasible at point {point} (e.g. a streamed "
+                "mode whose cut fits one chunk)")
+        return self._build_joint(point, codec_name, mode, value,
+                                 jd.candidates, streaming, bandwidth_up, k)
+
+    def _build_joint(self, point: int, name: str, mode: str, value: float,
+                     candidates: Dict[Tuple[str, str], np.ndarray],
+                     streaming, bandwidth_up: float, k: float) -> JointDecision:
+        n = self.num_nodes
+        codec = self.codec(name)
+        wire_b = int(self._wire_sizes(name)[point])
+        streamed = mode == "stream" and point < n
+        chunks = streaming.num_chunks(wire_b) if streamed else 1
+        upload_s = 0.0
+        if point < n:
+            upload_s = wire_b * 8 / bandwidth_up
+            if streamed:
+                upload_s += (chunks - 1) * streaming.chunk_overhead_s
+        raw_b = float(self._cuts[point].upload_bytes)
+        return JointDecision(
+            point=point,
+            codec=name,
+            streamed=streamed,
+            chunks=chunks,
+            predicted_latency=value,
+            predicted_device_s=float(self._prefix[point]),
+            predicted_encode_s=float(codec.encode_time_s(raw_b)),
+            predicted_upload_s=upload_s,
+            predicted_decode_s=float(codec.decode_time_s(raw_b)),
+            predicted_server_s=float(k * self._suffix[point]),
+            wire_bytes=wire_b,
+            candidates=candidates,
         )
 
     # -- component predictions, used by the runtime and the experiments -----

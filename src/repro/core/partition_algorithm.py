@@ -84,6 +84,7 @@ def partition_decision(
     output_bytes: int = 0,
     prefix: np.ndarray | None = None,
     suffix: np.ndarray | None = None,
+    offload_only: bool = False,
 ) -> PartitionDecision:
     """Run Algorithm 1.
 
@@ -104,6 +105,10 @@ def partition_decision(
     prefix, suffix:
         Precomputed arrays (see :class:`~repro.core.engine.LoADPartEngine`),
         avoiding the O(n) cumsum on every call.
+    offload_only:
+        Exclude ``p = n`` (local inference) from the scan — the paper's
+        fig. 6 setting, which measures *offloaded* latency even where
+        staying local would win.
     """
     n = len(device_times)
     if len(edge_times) != n:
@@ -132,7 +137,8 @@ def partition_decision(
     # (suffix[n] == 0 by construction).
 
     # The pseudo-code's `curVal <= minVal` keeps the LAST minimiser.
-    best = int(len(candidates) - 1 - np.argmin(candidates[::-1]))
+    scan = candidates[:-1] if offload_only else candidates
+    best = int(len(scan) - 1 - np.argmin(scan[::-1]))
     return PartitionDecision(
         point=best,
         predicted_latency=float(candidates[best]),

@@ -1,15 +1,23 @@
 """Network substrate: the WiFi link between device and edge server.
 
 Provides the transfer-time model (:mod:`channel`), time-varying bandwidth
-traces used by the experiments (:mod:`traces`), and the paper's
+traces used by the experiments (:mod:`traces`), the paper's
 sliding-window bandwidth estimator combining active probes with passive
-measurements of offloading transfers (:mod:`estimator`, §IV).
+measurements of offloading transfers (:mod:`estimator`, §IV), tensor
+codecs for the cut tensors (:mod:`codec`) and the streaming-upload
+configuration (:mod:`streaming`).
 """
 
-from repro.network.channel import Channel, NetworkParams, TransferResult
-from repro.network.codec import EncodedTensor, TensorCodec
+from repro.network.channel import (
+    Channel,
+    NetworkParams,
+    StreamResult,
+    TransferResult,
+)
+from repro.network.codec import EncodedTensor, TensorCodec, decode_any
 from repro.network.estimator import BandwidthEstimator
 from repro.network.faults import FaultPlan, FaultyChannel, ServerFaultPlan
+from repro.network.streaming import StreamingConfig, plan_chunks
 from repro.network.traces import (
     BandwidthTrace,
     ConstantTrace,
@@ -33,6 +41,10 @@ __all__ = [
     "RandomWalkTrace",
     "ServerFaultPlan",
     "StepTrace",
+    "StreamResult",
+    "StreamingConfig",
     "TransferResult",
+    "decode_any",
     "fig6_trace",
+    "plan_chunks",
 ]

@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 import numpy as np
 
@@ -56,6 +57,30 @@ class TransferResult:
         return TransferResult(delivered=True, elapsed_s=elapsed_s, nbytes=nbytes)
 
 
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one chunked upload over the (possibly faulty) link.
+
+    ``elapsed_s`` follows the :class:`TransferResult` convention — the
+    wall time the sender spent on the stream, including the timeout
+    share charged by every failed chunk attempt.  ``offsets_s`` are the
+    cumulative arrival offsets of the *delivered* chunks relative to the
+    stream start; on success the last offset is the total transfer time.
+    """
+
+    delivered: bool
+    elapsed_s: float
+    nbytes: int = 0
+    offsets_s: Tuple[float, ...] = field(default=())
+    timed_out: bool = False
+    failed_chunk: int | None = None
+    chunk_retries: int = 0
+
+    @property
+    def chunks(self) -> int:
+        return len(self.offsets_s)
+
+
 class Channel:
     """The WiFi link: computes transfer times against a bandwidth trace."""
 
@@ -95,6 +120,25 @@ class Channel:
     def download_time(self, nbytes: int, t: float, rng: np.random.Generator) -> float:
         return self.mean_download_time(nbytes, t) * lognormal_factor(rng, self.params.jitter_sigma)
 
+    def stream_chunk_time(self, nbytes: int, t: float, rng: np.random.Generator,
+                          first: bool) -> float:
+        """One noisy chunk duration inside an established stream.
+
+        Only the first chunk pays ``base_latency_s`` — subsequent chunks
+        ride the same connection back-to-back, so their cost is pure
+        serialization time (plus jitter).
+        """
+        if first:
+            return self.upload_time(nbytes, t, rng)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        bandwidth = self.trace.upload_at(t)
+        if bandwidth <= 0:
+            return math.inf
+        return nbytes * 8 / bandwidth * lognormal_factor(rng, self.params.jitter_sigma)
+
     # -- fault-aware attempt interface ---------------------------------------
     #
     # The plain channel never injects faults: an attempt only fails when the
@@ -102,15 +146,93 @@ class Channel:
     # exceeds the caller's timeout budget.  ``FaultyChannel`` overrides these
     # to consult a FaultPlan.
 
+    def _attempt(self, elapsed_fn, nbytes: int, t: float,
+                 timeout_s: float | None) -> TransferResult:
+        """One transfer attempt: time the payload, classify against the
+        budget.  ``FaultyChannel`` overrides this to consult its plan, so
+        every attempt — monolithic or per-chunk — draws faults the same
+        way."""
+        return TransferResult.from_elapsed(nbytes, elapsed_fn(), timeout_s)
+
     def try_upload(self, nbytes: int, t: float, rng: np.random.Generator,
                    timeout_s: float | None = None) -> TransferResult:
         """One upload attempt under a timeout budget (None = wait forever)."""
-        return TransferResult.from_elapsed(
-            nbytes, self.upload_time(nbytes, t, rng), timeout_s
+        return self._attempt(
+            lambda: self.upload_time(nbytes, t, rng), nbytes, t, timeout_s
         )
 
     def try_download(self, nbytes: int, t: float, rng: np.random.Generator,
                      timeout_s: float | None = None) -> TransferResult:
-        return TransferResult.from_elapsed(
-            nbytes, self.download_time(nbytes, t, rng), timeout_s
+        return self._attempt(
+            lambda: self.download_time(nbytes, t, rng), nbytes, t, timeout_s
         )
+
+    def try_upload_stream(self, chunk_sizes, t: float, rng: np.random.Generator,
+                          timeout_s: float | None = None,
+                          max_chunk_retries: int = 0,
+                          min_chunk_timeout_s: float = 0.0) -> StreamResult:
+        """Chunked upload: each chunk is one :meth:`try_upload` attempt.
+
+        The timeout budget is split across chunks proportionally to their
+        size (with a ``min_chunk_timeout_s`` floor), so a mid-stream fault
+        charges only the failed chunk's share — not the whole tensor's
+        timeout.  A failed chunk is retried in-stream up to
+        ``max_chunk_retries`` times (every attempt draws faults and jitter
+        exactly like a standalone transfer, so the sequence is
+        deterministic under a ``FaultPlan``); when the budget is exhausted
+        the stream aborts with the partial elapsed time.
+
+        A single-chunk stream delegates to :meth:`try_upload` verbatim —
+        same RNG draws, same timeout semantics, no in-stream retries —
+        which keeps the degenerate streaming config byte-identical to the
+        monolithic path.
+        """
+        sizes = tuple(int(s) for s in chunk_sizes)
+        if not sizes:
+            raise ValueError("chunk_sizes must name at least one chunk")
+        if any(s < 0 for s in sizes):
+            raise ValueError("chunk sizes must be non-negative")
+        total = sum(sizes)
+        if len(sizes) == 1:
+            res = self.try_upload(sizes[0], t, rng, timeout_s)
+            return StreamResult(
+                delivered=res.delivered, elapsed_s=res.elapsed_s, nbytes=total,
+                offsets_s=(res.elapsed_s,) if res.delivered else (),
+                timed_out=res.timed_out,
+                failed_chunk=None if res.delivered else 0)
+
+        offsets = []
+        off = 0.0
+        retries_used = 0
+        for i, size in enumerate(sizes):
+            chunk_timeout = None
+            if timeout_s is not None:
+                chunk_timeout = max(min_chunk_timeout_s,
+                                    timeout_s * size / total if total else timeout_s)
+            attempts = 0
+            while True:
+                start = t + off
+                res = self._attempt(
+                    lambda: self.stream_chunk_time(size, start, rng, i == 0),
+                    size, start, chunk_timeout)
+                off += res.elapsed_s
+                if res.delivered:
+                    offsets.append(off)
+                    break
+                if not math.isfinite(off) or attempts >= max_chunk_retries:
+                    return StreamResult(
+                        delivered=False, elapsed_s=off, nbytes=total,
+                        offsets_s=tuple(offsets), timed_out=True,
+                        failed_chunk=i, chunk_retries=retries_used)
+                attempts += 1
+                retries_used += 1
+            if timeout_s is not None and off > timeout_s:
+                # Delivered chunks notwithstanding, the stream as a whole
+                # blew its budget: classify like a late monolithic upload.
+                return StreamResult(
+                    delivered=False, elapsed_s=off, nbytes=total,
+                    offsets_s=tuple(offsets), timed_out=True,
+                    failed_chunk=i, chunk_retries=retries_used)
+        return StreamResult(delivered=True, elapsed_s=off, nbytes=total,
+                            offsets_s=tuple(offsets),
+                            chunk_retries=retries_used)

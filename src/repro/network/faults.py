@@ -108,29 +108,20 @@ class FaultyChannel(Channel):
         self.plan = plan
         self._fault_rng = np.random.default_rng(plan.seed)
 
-    def _try_transfer(self, base_elapsed_fn, nbytes: int, t: float,
-                      timeout_s: float | None) -> TransferResult:
+    def _attempt(self, elapsed_fn, nbytes: int, t: float,
+                 timeout_s: float | None) -> TransferResult:
+        """Every transfer attempt — monolithic upload/download or one chunk
+        of a stream — consults the plan at its own start time, so a
+        mid-stream outage faults exactly the chunks inside the window."""
         plan = self.plan
         if plan.in_outage(t):
             return TransferResult.failed(nbytes, timeout_s)
         if plan.drop_prob > 0.0 and self._fault_rng.random() < plan.drop_prob:
             return TransferResult.failed(nbytes, timeout_s)
-        elapsed = base_elapsed_fn()
+        elapsed = elapsed_fn()
         if plan.latency_spike_prob > 0.0 and self._fault_rng.random() < plan.latency_spike_prob:
             elapsed += plan.latency_spike_s
         return TransferResult.from_elapsed(nbytes, elapsed, timeout_s)
-
-    def try_upload(self, nbytes: int, t: float, rng: np.random.Generator,
-                   timeout_s: float | None = None) -> TransferResult:
-        return self._try_transfer(
-            lambda: self.upload_time(nbytes, t, rng), nbytes, t, timeout_s
-        )
-
-    def try_download(self, nbytes: int, t: float, rng: np.random.Generator,
-                     timeout_s: float | None = None) -> TransferResult:
-        return self._try_transfer(
-            lambda: self.download_time(nbytes, t, rng), nbytes, t, timeout_s
-        )
 
 
 @dataclass(frozen=True)

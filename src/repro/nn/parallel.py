@@ -39,11 +39,14 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, List, Sequence, Set, TypeVar
+from typing import (
+    Callable, Collection, Dict, Hashable, List, Sequence, Set, TypeVar,
+)
 
 __all__ = [
     "PARALLEL_THREADS_ENV",
     "CompileOnceCache",
+    "GatedRun",
     "ParallelConfig",
     "ParallelPlanRunner",
     "SampleParallelRunner",
@@ -167,51 +170,118 @@ class ParallelPlanRunner:
 
     def run(self) -> None:
         """Run every chain once; raises the first chain failure, if any."""
-        n = len(self._chains)
+        self.begin().finish()
+
+    def begin(self, chain_gates: Sequence[Collection[str]] | None = None
+              ) -> "GatedRun":
+        """Start one gated execution of the chain DAG.
+
+        ``chain_gates[c]`` names the external *gates* task ``c`` must wait
+        for (on top of its chain dependencies); the caller releases them
+        one by one via :meth:`GatedRun.release` as, e.g., boundary tensors
+        arrive over a streaming transport, and collects completion with
+        :meth:`GatedRun.finish`.  ``None`` gates nothing — dependency-free
+        chains are submitted immediately, which is exactly :meth:`run`.
+        """
+        return GatedRun(self, chain_gates)
+
+
+class GatedRun:
+    """One in-flight execution of a runner's chain DAG, with release gates.
+
+    Task ``c`` becomes ready when its chain dependencies have finished
+    *and* every gate name in its ``chain_gates[c]`` has been
+    :meth:`release`-d.  Gates are how a streaming transport starts tail
+    chains as their boundary tensors arrive: gating only delays task
+    starts — it never changes a step's work or within-chain order, so
+    results stay bit-identical to an ungated run.
+
+    Instances are single-use (one ``finish`` per ``begin``) and must only
+    be released/finished by the thread(s) owning the plan's workspace.
+    """
+
+    def __init__(self, runner: ParallelPlanRunner,
+                 chain_gates: Sequence[Collection[str]] | None = None) -> None:
+        n = len(runner._chains)
+        if chain_gates is None:
+            chain_gates = [()] * n
+        if len(chain_gates) != n:
+            raise ValueError("chain_gates must match chains one-to-one")
+        self._runner = runner
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._remaining = [len(d) for d in runner._deps]
+        self._waiters: Dict[str, List[int]] = {}
+        for c, gates in enumerate(chain_gates):
+            for g in set(gates):
+                self._remaining[c] += 1
+                self._waiters.setdefault(g, []).append(c)
+        self._pending_gates: Set[str] = set(self._waiters)
+        self._state: Dict[str, object] = {"left": n, "error": None, "futures": []}
         if n == 0:
+            self._done.set()
             return
-        remaining = [len(d) for d in self._deps]
-        lock = threading.Lock()
-        all_done = threading.Event()
-        state = {"left": n, "error": None, "futures": []}
-
-        def submit(c: int) -> None:
-            with lock:
-                if state["error"] is not None:
-                    return
-                state["futures"].append(self._pool.submit(run_chain, c))
-
-        def run_chain(c: int) -> None:
-            try:
-                for fn in self._chains[c]:
-                    fn()
-            except BaseException as exc:  # propagate to the caller
-                with lock:
-                    if state["error"] is None:
-                        state["error"] = exc
-                all_done.set()
-                return
-            ready = []
-            with lock:
-                state["left"] -= 1
-                for s in self._succs[c]:
-                    remaining[s] -= 1
-                    if remaining[s] == 0:
-                        ready.append(s)
-                if state["left"] == 0:
-                    all_done.set()
-            for s in ready:
-                submit(s)
-
         for c in range(n):
-            if remaining[c] == 0:
-                submit(c)
-        all_done.wait()
+            if self._remaining[c] == 0:
+                self._submit(c)
+
+    def _submit(self, c: int) -> None:
+        state = self._state
+        with self._lock:
+            if state["error"] is not None:
+                return
+            state["futures"].append(self._runner._pool.submit(self._run_chain, c))
+
+    def _run_chain(self, c: int) -> None:
+        state = self._state
+        try:
+            for fn in self._runner._chains[c]:
+                fn()
+        except BaseException as exc:  # propagate to finish()
+            with self._lock:
+                if state["error"] is None:
+                    state["error"] = exc
+            self._done.set()
+            return
+        ready = []
+        with self._lock:
+            state["left"] -= 1
+            for s in self._runner._succs[c]:
+                self._remaining[s] -= 1
+                if self._remaining[s] == 0:
+                    ready.append(s)
+            if state["left"] == 0:
+                self._done.set()
+        for s in ready:
+            self._submit(s)
+
+    def release(self, name: str) -> None:
+        """Release every task gated on ``name`` (unknown names are no-ops)."""
+        ready = []
+        with self._lock:
+            self._pending_gates.discard(name)
+            for c in self._waiters.pop(name, ()):
+                self._remaining[c] -= 1
+                if self._remaining[c] == 0:
+                    ready.append(c)
+        for c in ready:
+            self._submit(c)
+
+    def finish(self) -> None:
+        """Wait for every task to finish; re-raises the first chain failure."""
+        with self._lock:
+            pending = sorted(self._pending_gates)
+            error = self._state["error"]
+        if pending and error is None:
+            # Waiting would deadlock: gated tasks can never become ready.
+            raise RuntimeError(f"gated run finished with unreleased gates {pending}")
+        self._done.wait()
+        state = self._state
         if state["error"] is not None:
             # Let in-flight chains drain before handing the (now possibly
             # inconsistent) workspace back — a later run recompiles nothing
             # but must not race stragglers.
-            with lock:
+            with self._lock:
                 futures = list(state["futures"])
             for fut in futures:
                 fut.exception()

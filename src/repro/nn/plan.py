@@ -76,6 +76,7 @@ __all__ = [
     "GraphPlan",
     "PlanError",
     "PlanStats",
+    "PlanStream",
     "SegmentPlan",
     "WorkspaceArena",
 ]
@@ -692,6 +693,11 @@ class CompiledPlan:
         self._sample_bound: List[Dict[str, np.ndarray]] = []
         self._sample_chain_fns: List[List[List[Callable[[], None]]]] = []
         self._sample_chain_deps: List[List[Set[int]]] = []
+        #: External names each compiled chain / step reads (root-resolved,
+        #: so readers of an alias of an external gate on the external) —
+        #: the release gates of :meth:`begin_streaming`.
+        self._sample_chain_gates: List[List[Set[str]]] = []
+        self._sample_step_gates: List[List[Set[str]]] = []
         self.chain_info: ChainInfo | None = None
         self.last_intermediates: Dict[str, np.ndarray] = {}
         # One plan instance owns one workspace: concurrent execute() calls
@@ -871,7 +877,9 @@ class CompiledPlan:
                     bound[ext] = view
                     owner[ext] = base
             chain_fns: List[List[Callable[[], None]]] = [[] for _ in range(n_chains)]
+            chain_gates: List[Set[str]] = [set() for _ in range(n_chains)]
             steps: List[Tuple[str, Callable[[], None]]] = []
+            step_gates: List[Set[str]] = []
             for idx, node in enumerate(compute):
                 xs = [bound[dep] for dep in node.inputs]
                 param_arrays = [self._params[p.name] for p in node.params]
@@ -904,6 +912,9 @@ class CompiledPlan:
                         inplace_steps += 1
                     steps.append((node.name, fn))
                     chain_fns[chain_of[idx]].append(fn)
+                    gates = {root[dep] for dep in node.inputs if root[dep] in ext_full}
+                    step_gates.append(gates)
+                    chain_gates[chain_of[idx]] |= gates
                     if s == 0:
                         chain_step_names[chain_of[idx]].append(node.name)
 
@@ -941,7 +952,9 @@ class CompiledPlan:
             self._sample_chain_fns.append([chain_fns[c] for c in remap])
             self._sample_chain_deps.append(
                 [{remap[d] for d in folded[c]} for c in remap])
+            self._sample_chain_gates.append([chain_gates[c] for c in remap])
             self._sample_steps.append(steps)
+            self._sample_step_gates.append(step_gates)
             self._sample_bound.append(bound)
 
         self.chain_info = ChainInfo(
@@ -1109,6 +1122,131 @@ class CompiledPlan:
                 }
             return {name: self._bound[name].copy() for name in self._result_names}
 
+    def begin_streaming(self) -> "PlanStream":
+        """Begin an incremental run: feed externals as they arrive.
+
+        Returns a :class:`PlanStream`; call ``feed(name, array)`` once per
+        external in any order (typically transport arrival order) and
+        ``finish()`` for the results.  Steps whose external inputs have all
+        arrived start immediately, so tail compute overlaps with transport.
+        """
+        return PlanStream(self)
+
+
+class PlanStream:
+    """One in-flight streaming execution of a :class:`CompiledPlan`.
+
+    Under a parallel compile the plan's chain DAG runs as a
+    :class:`~repro.nn.parallel.GatedRun`: each chain is gated on the
+    externals its steps read (root-resolved through aliases) and released
+    as they are fed, so ready chains overlap with the arrival of later
+    tensors.  Serial plans advance an in-order step cursor instead,
+    stalling at the first step whose externals are not all fed — wire
+    order is first-consumer order, so in practice the cursor chases the
+    feed.  Either way the steps and their within-chain order are exactly
+    :meth:`CompiledPlan.execute`'s, so results are bit-identical to a
+    monolithic run with the same externals.
+
+    The plan's workspace lock is held from construction until
+    :meth:`finish` (or :meth:`abort` after a transport failure) — a stream
+    is one occupancy of the plan, like one ``execute`` call stretched over
+    the arrival window.
+    """
+
+    def __init__(self, plan: CompiledPlan) -> None:
+        self._plan = plan
+        self._pending: Set[str] = set(plan._inputs)
+        self._fed: Set[str] = set()
+        self._finished = False
+        plan._exec_lock.acquire()
+        plan.last_intermediates = {}
+        self._gated = None
+        self._serial: List[Tuple[Callable[[], None], Set[str]]] | None = None
+        self._cursor = 0
+        if plan._runner is not None:
+            gates = [g for per in plan._sample_chain_gates for g in per]
+            self._gated = plan._runner.begin(gates)
+        else:
+            self._serial = [
+                (fn, gates)
+                for steps, sgates in zip(plan._sample_steps, plan._sample_step_gates)
+                for (_name, fn), gates in zip(steps, sgates)
+            ]
+
+    def feed(self, name: str, array: np.ndarray) -> None:
+        """Deliver one external tensor; runs every step it unblocks."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        if name not in self._pending:
+            raise ValueError(f"unknown or already-fed external {name!r}")
+        buf = self._plan._inputs[name]
+        if tuple(array.shape) != buf.shape:
+            raise ValueError(
+                f"external {name!r} has shape {array.shape}, expected {buf.shape}"
+            )
+        np.copyto(buf, array)
+        self._pending.discard(name)
+        self._fed.add(name)
+        if self._gated is not None:
+            self._gated.release(name)
+        else:
+            self._advance()
+
+    def _advance(self) -> None:
+        serial = self._serial
+        while self._cursor < len(serial):
+            fn, gates = serial[self._cursor]
+            if gates - self._fed:
+                return
+            fn()
+            self._cursor += 1
+
+    def finish(self) -> Dict[str, np.ndarray]:
+        """Wait for the remaining steps; returns copies of the results."""
+        if self._finished:
+            raise RuntimeError("stream already finished")
+        self._finished = True
+        try:
+            if self._pending:
+                raise ValueError(
+                    f"stream missing externals {sorted(self._pending)}")
+            if self._gated is not None:
+                self._gated.finish()
+            else:
+                self._advance()
+            plan = self._plan
+            if plan.sample_mode:
+                return {
+                    name: np.concatenate(
+                        [b[name] for b in plan._sample_bound], axis=0)
+                    for name in plan._result_names
+                }
+            return {name: plan._bound[name].copy() for name in plan._result_names}
+        finally:
+            self._plan._exec_lock.release()
+
+    def abort(self) -> None:
+        """Abandon the stream (transport failure) and release the plan.
+
+        Gated tasks are released with whatever (stale) bytes the unfed
+        buffers hold and the DAG drained — harmless garbage arithmetic —
+        because in-flight chains must not still be writing the workspace
+        once the lock is handed back.  Idempotent; safe after ``finish``.
+        """
+        if self._finished:
+            return
+        self._finished = True
+        try:
+            if self._gated is not None:
+                for name in list(self._pending):
+                    self._gated.release(name)
+                try:
+                    self._gated.finish()
+                except BaseException:
+                    pass
+        finally:
+            self._plan._exec_lock.release()
+
 
 class GraphPlan:
     """Compiled plan for a whole :class:`ComputationGraph`.
@@ -1203,6 +1341,16 @@ class SegmentPlan:
     @property
     def chain_info(self) -> ChainInfo | None:
         return self._core.chain_info
+
+    def begin_streaming(self) -> PlanStream:
+        """Feed boundary tensors one at a time as they arrive off the wire.
+
+        Returns a :class:`PlanStream`: ``feed(name, array)`` each boundary
+        tensor (shape-checked against the compiled batched spec), then
+        ``finish()`` for the same producer-keyed results :meth:`run`
+        returns — bit-identical to a monolithic ``run`` call.
+        """
+        return self._core.begin_streaming()
 
     def run(self, boundary: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         missing = set(self._segment.boundary_inputs) - set(boundary)

@@ -20,17 +20,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
+from itertools import accumulate
 from typing import Dict, Protocol, Tuple
 
 import numpy as np
 
 from repro.core.cache import PartitionCache
-from repro.core.engine import LoADPartEngine
+from repro.core.engine import JointDecision, LoADPartEngine
 from repro.core.partition_algorithm import PartitionDecision
 from repro.graph.partitioner import GraphPartitioner, PartitionedGraph
 from repro.hardware.device_model import DeviceModel
-from repro.network.channel import Channel
+from repro.network.channel import Channel, StreamResult
 from repro.network.estimator import BandwidthEstimator
+from repro.network.streaming import StreamingConfig
 from repro.nn.executor import SegmentExecutor, _check_backend, init_parameters
 from repro.nn.parallel import CompileOnceCache, ParallelConfig
 from repro.runtime.messages import BusyReply, InferenceRecord, OffloadReply
@@ -74,13 +76,25 @@ class PendingOffload:
     head_outputs: Dict[str, np.ndarray] | None
     timeout_s: float = 0.0
     delivered: bool = True
+    #: Streaming-path metadata (defaults describe the classic fp32
+    #: monolithic upload, so non-streaming callers are untouched).
+    #: ``decode_s`` is the *exposed* decode time beyond the upload's end;
+    #: ``arrivals`` maps crossing-tensor producer name to the absolute
+    #: instant it became available (decoded) on the server, feeding the
+    #: server's arrival-gated execution.
+    codec: str = "fp32"
+    encode_s: float = 0.0
+    decode_s: float = 0.0
+    chunks: int = 1
+    wire_bytes: int = 0
+    arrivals: Dict[str, float] | None = None
 
     @property
     def deadline_s(self) -> float:
         """Absolute instant the device abandons this attempt."""
         if self.timeout_s <= 0:
             return math.inf
-        return self.start_s + self.device_s + self.timeout_s
+        return self.start_s + self.device_s + self.encode_s + self.timeout_s
 
 
 class UserDevice:
@@ -100,11 +114,18 @@ class UserDevice:
         model_seed: int = 0,
         resilience: ResilienceConfig | None = None,
         parallelism: ParallelConfig | None = None,
+        streaming: StreamingConfig | None = None,
     ) -> None:
         self.engine = engine
         self.server = server
         self.channel = channel
         self.policy = policy if policy is not None else engine
+        self.streaming = streaming
+        if streaming is not None and not hasattr(self.policy, "decide_joint"):
+            raise ValueError(
+                "streaming requires a policy with decide_joint (the "
+                "LoADPart engine or a pinned joint policy); "
+                f"got {type(self.policy).__name__}")
         self.device_model = device_model or DeviceModel()
         self.resilience = resilience
         if estimator is not None:
@@ -280,10 +301,16 @@ class UserDevice:
         k = self._current_k(now_s)
         n = self.engine.num_nodes
         timeout_s = 0.0
+        joint: JointDecision | None = None
         if force_local:
             point = n
         else:
-            decision = self.policy.decide(bandwidth, k=k)
+            if self.streaming is not None:
+                joint = self.policy.decide_joint(bandwidth, k=k,
+                                                 streaming=self.streaming)
+                decision = joint
+            else:
+                decision = self.policy.decide(bandwidth, k=k)
             point = decision.point
             if self.resilience is not None and point < n:
                 timeout_s = self.resilience.timeout_for(decision.predicted_latency)
@@ -322,23 +349,53 @@ class UserDevice:
                 server_cache_hit=True,
             )
 
-        upload_bytes = partitioned.upload_bytes
+        codec_name = joint.codec if joint is not None else "fp32"
+        encode_s = joint.predicted_encode_s if joint is not None else 0.0
+        decode_s = joint.predicted_decode_s if joint is not None else 0.0
+        wire_bytes = (joint.wire_bytes if joint is not None
+                      else partitioned.upload_bytes)
+        streamed = joint is not None and joint.streamed
+        if transfers is not None and codec_name != "fp32":
+            # The functional payload really goes through the codec, so
+            # lossy results are genuinely tolerance-bounded and lossless
+            # ones genuinely bit-exact; simulated timing uses the declared
+            # constants above, never these payloads.
+            codec = self.engine.codec(codec_name)
+            transfers = {name: codec.encode(arr)
+                         for name, arr in transfers.items()}
+
         budget = timeout_s if self.resilience is not None else None
-        result = self.channel.try_upload(upload_bytes, now_s, self._rng,
-                                         timeout_s=budget)
+        arrivals: Dict[str, float] | None = None
+        if streamed:
+            assert self.streaming is not None
+            chunk_sizes = self.streaming.plan_chunks(wire_bytes)
+            result = self.channel.try_upload_stream(
+                chunk_sizes, now_s, self._rng, timeout_s=budget,
+                max_chunk_retries=self.streaming.max_chunk_retries,
+                min_chunk_timeout_s=self.streaming.min_chunk_timeout_s,
+            )
+            if result.delivered:
+                arrivals, decode_s = self._stream_arrivals(
+                    point, codec_name, chunk_sizes, result,
+                    now_s + device_s + encode_s)
+        else:
+            result = self.channel.try_upload(wire_bytes, now_s, self._rng,
+                                             timeout_s=budget)
         if result.delivered:
             # Passive bandwidth measurement from the real transfer (§IV).
-            self.estimator.add_passive(now_s, upload_bytes, result.elapsed_s)
+            self.estimator.add_passive(now_s, wire_bytes, result.elapsed_s)
         elif self.resilience is not None:
             # The failed transfer is still evidence: bandwidth was below
             # 8*bytes/elapsed, or the link is dark.
-            self.estimator.add_failure(now_s, upload_bytes, result.elapsed_s)
+            self.estimator.add_failure(now_s, wire_bytes, result.elapsed_s)
         else:
             # A non-resilient device blocks on the dead transfer forever.
             return self._failed_record(
                 request_id, now_s, point, bandwidth, k,
                 device_s=device_s, upload_s=result.elapsed_s, overhead_s=overhead,
                 device_cache_hit=device_cache_hit,
+                codec=codec_name, encode_s=encode_s,
+                chunks=getattr(result, "chunks", 1) or 1,
             )
 
         return PendingOffload(
@@ -351,17 +408,53 @@ class UserDevice:
             upload_s=result.elapsed_s,
             overhead_s=overhead,
             device_cache_hit=device_cache_hit,
-            arrive_s=now_s + device_s + result.elapsed_s,
+            arrive_s=now_s + device_s + encode_s + result.elapsed_s + decode_s,
             transfers=transfers,
             head_outputs=head_outputs,
             timeout_s=timeout_s,
             delivered=result.delivered,
+            codec=codec_name,
+            encode_s=encode_s,
+            decode_s=decode_s,
+            chunks=len(chunk_sizes) if streamed else 1,
+            wire_bytes=wire_bytes,
+            arrivals=arrivals,
         )
+
+    def _stream_arrivals(self, point: int, codec_name: str,
+                         chunk_sizes, result: StreamResult, base_s: float,
+                         ) -> Tuple[Dict[str, float], float]:
+        """Per-tensor availability of a delivered stream.
+
+        A crossing tensor is *available* once the chunk carrying its last
+        wire byte has landed and the server's decoder — which works through
+        tensors in wire order — has decoded it:
+        ``avail_v = max(arrival_v, avail_{v-1}) + decode_v``.  Returns the
+        absolute availability map (keyed by producer name) and the exposed
+        decode time — how far the last availability trails the upload's
+        end; earlier decodes hid behind the stream.
+        """
+        codec = self.engine.codec(codec_name)
+        chunk_cum = list(accumulate(chunk_sizes))
+        arrivals: Dict[str, float] = {}
+        avail = 0.0
+        wire_cum = 0
+        ci = 0
+        for name, nbytes, op in self.engine.cut_tensors(point):
+            wire_cum += codec.wire_bytes(nbytes, op)
+            while ci < len(chunk_cum) - 1 and chunk_cum[ci] < wire_cum:
+                ci += 1
+            arrival = result.offsets_s[ci]
+            avail = max(arrival, avail) + codec.decode_time_s(float(nbytes))
+            arrivals[name] = base_s + avail
+        return arrivals, max(avail - result.elapsed_s, 0.0)
 
     def _failed_record(self, request_id: int, start_s: float, point: int,
                        bandwidth: float, k: float, *, device_s: float,
                        upload_s: float, overhead_s: float,
                        device_cache_hit: bool, server_s: float = 0.0,
+                       codec: str = "fp32", encode_s: float = 0.0,
+                       chunks: int = 1,
                        ) -> InferenceRecord:
         """A request a non-resilient device can never finish (total = inf)."""
         return InferenceRecord(
@@ -380,6 +473,9 @@ class UserDevice:
             device_cache_hit=device_cache_hit,
             server_cache_hit=False,
             status="failed",
+            codec=codec,
+            chunks=chunks,
+            encode_s=encode_s,
         )
 
     def complete_inference(self, pending: PendingOffload, reply: OffloadReply,
@@ -409,6 +505,8 @@ class UserDevice:
                 overhead_s=pending.overhead_s + reply.partition_overhead_s,
                 device_cache_hit=pending.device_cache_hit,
                 server_s=reply.server_exec_s,
+                codec=pending.codec, encode_s=pending.encode_s,
+                chunks=pending.chunks,
             )
         download_s = result.elapsed_s
 
@@ -421,7 +519,9 @@ class UserDevice:
 
         total = (
             pending.device_s
+            + pending.encode_s
             + pending.upload_s
+            + pending.decode_s
             + reply.server_exec_s
             + download_s
             + pending.overhead_s
@@ -445,6 +545,10 @@ class UserDevice:
             server_queue_s=reply.queue_s,
             batch_size=reply.batch_size,
             timeout_s=pending.timeout_s,
+            codec=pending.codec,
+            chunks=pending.chunks,
+            encode_s=pending.encode_s,
+            decode_s=pending.decode_s,
         )
 
     def fallback_record(self, request_id: int, start_s: float, now_s: float, *,
@@ -479,7 +583,7 @@ class UserDevice:
             return pending
         reply = self.server.handle_offload(
             pending.arrive_s, pending.request_id, pending.partition_point,
-            tensors=pending.transfers,
+            tensors=pending.transfers, arrivals=pending.arrivals,
         )
         if not isinstance(reply, OffloadReply):
             # Crashed (None) or shedding (BusyReply): a non-resilient device
@@ -538,10 +642,11 @@ class UserDevice:
                 reply = self.server.handle_offload(
                     pending.arrive_s, pending.request_id,
                     pending.partition_point, tensors=pending.transfers,
+                    arrivals=pending.arrivals,
                 )
                 if isinstance(reply, OffloadReply):
                     remaining = (pending.timeout_s - pending.upload_s
-                                 - reply.server_exec_s)
+                                 - pending.decode_s - reply.server_exec_s)
                     if remaining > 0:
                         record = self.complete_inference(
                             pending, reply, download_timeout_s=remaining

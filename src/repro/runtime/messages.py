@@ -34,6 +34,12 @@ class OffloadReply:
     queue_s: float = 0.0       # batching queue delay folded into server_exec_s
     batch_size: int = 1        # requests co-executed in this batch
     status: str = "ok"
+    #: GPU occupancy of this request.  Under arrival-gated (streamed)
+    #: execution the *exposed* ``server_exec_s`` can be much smaller than
+    #: the compute actually burned, because tail segments overlapped the
+    #: upload; this field carries the busy time for load accounting.
+    #: ``None`` means no overlap happened: busy time == ``server_exec_s``.
+    gpu_busy_s: float | None = None
     #: Tail-segment output tensors (producer name -> array) when the system
     #: runs in functional mode; None in pure-simulation runs.  Excluded from
     #: equality/repr so timing-level semantics are unchanged.
@@ -83,13 +89,23 @@ class InferenceRecord:
     server_queue_s: float = 0.0   # batching queue delay (part of server_s)
     batch_size: int = 1           # requests co-executed with this one
     status: str = "ok"            # one of STATUSES
+    codec: str = "fp32"           # wire codec of the upload (streaming path)
+    chunks: int = 1               # upload chunks (1 = monolithic transfer)
+    #: Device-side encode time charged before the upload starts, and the
+    #: *exposed* server-side decode time beyond the upload's end (per-tensor
+    #: decodes that overlapped the stream are already hidden).  Both are 0
+    #: on the classic fp32 monolithic path, keeping
+    #: ``total = device + encode + upload + decode + server + download +
+    #: overhead + wasted`` backward compatible.
+    encode_s: float = 0.0
+    decode_s: float = 0.0
     retries: int = 0              # offload attempts beyond the first
     timeout_s: float = 0.0        # per-attempt deadline (0 = no deadline)
     #: Wall time burned on failed attempts before the recorded (final) one:
     #: timeouts waited out, backoff sleeps, busy-rejection round trips.  The
     #: waiting is latency the user experienced, so it is part of
-    #: ``total_s`` (total = device + upload + server + download + overhead
-    #: + wasted).
+    #: ``total_s`` (total = device + encode + upload + decode + server
+    #: + download + overhead + wasted).
     wasted_s: float = 0.0
 
     @property

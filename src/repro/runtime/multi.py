@@ -102,12 +102,17 @@ class SharedEdgeServer(EdgeServer):
         self.tracker = tracker
 
     def handle_offload(self, now_s: float, request_id: int, point: int,
-                       tensors=None):
-        reply = super().handle_offload(now_s, request_id, point, tensors=tensors)
+                       tensors=None, arrivals=None):
+        reply = super().handle_offload(now_s, request_id, point,
+                                       tensors=tensors, arrivals=arrivals)
         # The executed tail occupies the shared GPU; later requests see it.
-        # A crash (None) or rejection (BusyReply) executed nothing.
+        # A crash (None) or rejection (BusyReply) executed nothing.  Under
+        # arrival-gated streaming the exposed server time under-reports
+        # occupancy, so the busy figure wins when present.
         if isinstance(reply, OffloadReply):
-            self.tracker.record(now_s, reply.server_exec_s)
+            busy = (reply.gpu_busy_s if reply.gpu_busy_s is not None
+                    else reply.server_exec_s)
+            self.tracker.record(now_s, busy)
         return reply
 
     def handle_offload_batch(self, now_s, requests, point, batching):
@@ -225,6 +230,7 @@ class MultiClientSystem:
                     model_seed=self.config.seed,
                     resilience=self.config.resilience,
                     parallelism=self.config.parallelism,
+                    streaming=self.config.streaming,
                 )
             )
         self.loop = EventLoop()

@@ -15,6 +15,7 @@ shedding excess load with :class:`~repro.runtime.messages.BusyReply`.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from typing import Deque, Dict, List, Sequence
@@ -28,6 +29,7 @@ from repro.graph.partitioner import GraphPartitioner
 from repro.hardware.background import IDLE, LoadSchedule
 from repro.hardware.gpu_model import GpuModel
 from repro.hardware.gpu_scheduler import GpuScheduler
+from repro.network.codec import EncodedTensor, decode_any
 from repro.network.faults import ServerFaultPlan
 from repro.nn.executor import (
     SegmentExecutor,
@@ -113,12 +115,23 @@ class EdgeServer:
             backend=self.backend, batch=batch, parallelism=self.parallelism,
         ))
 
+    @staticmethod
+    def _decode_boundary(tensors: Dict[str, object]) -> Dict[str, np.ndarray]:
+        """Materialise uploaded tensors: codec-encoded payloads are decoded
+        on arrival, raw fp32 arrays pass through untouched."""
+        return {
+            name: decode_any(value) if isinstance(value, EncodedTensor)
+            else value
+            for name, value in tensors.items()
+        }
+
     def _execute_tail(self, point: int, tensors: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
         """Run the tail segment on the uploaded boundary tensors."""
         partitioned = self.cache.get(point)
         if partitioned.tail.is_empty:
             return {}
-        boundary = {name: tensors[name] for name in partitioned.tail.boundary_inputs}
+        decoded = self._decode_boundary(tensors)
+        boundary = {name: decoded[name] for name in partitioned.tail.boundary_inputs}
         return self._tail_executor(point).run(boundary)
 
     def _execute_tail_batch(
@@ -141,9 +154,10 @@ class EdgeServer:
             return [{} for _ in tensors_list]
         executor = self._tail_executor(point, batch=padded)
         b = len(tensors_list)
+        decoded_list = [self._decode_boundary(tensors) for tensors in tensors_list]
         boundary: Dict[str, np.ndarray] = {}
         for name, spec in partitioned.tail.boundary_inputs.items():
-            stack = [np.asarray(tensors[name]) for tensors in tensors_list]
+            stack = [np.asarray(tensors[name]) for tensors in decoded_list]
             if padded > b:
                 stack.append(np.zeros(
                     ((padded - b) * spec.shape[0],) + tuple(spec.shape[1:]),
@@ -197,12 +211,23 @@ class EdgeServer:
 
     def handle_offload(self, now_s: float, request_id: int, point: int,
                        tensors: Dict[str, np.ndarray] | None = None,
+                       arrivals: Dict[str, float] | None = None,
                        ) -> OffloadReply | BusyReply | None:
         """Execute the tail of partition ``point`` arriving at ``now_s``.
 
         When the server runs in functional mode and the device uploaded real
         boundary ``tensors``, the tail segment is actually executed and its
         outputs travel back on the reply; simulated timing is unaffected.
+
+        ``arrivals`` is the streaming pipeline's gift: per-crossing-tensor
+        availability instants (absolute, all ``<= now_s``, which is when the
+        *last* tensor became available).  The tail then executes
+        arrival-gated — each run of the release schedule starts as soon as
+        its gating tensor has landed — so compute that overlapped the
+        upload is hidden from ``server_exec_s``.  The reply's
+        ``gpu_busy_s`` still carries the full occupancy for load
+        accounting.  Without ``arrivals`` (monolithic upload) nothing
+        changes: one scheduler pass, ``server_exec_s`` == busy time.
 
         Without a fault plan the return is always an :class:`OffloadReply`.
         With one, a crashed server returns ``None`` (no reply ever comes —
@@ -228,11 +253,35 @@ class EdgeServer:
         profiles = self.engine.tail_profiles(point)
         kernel_times = self.gpu_model.sample_kernel_times(profiles, self._rng)
         level = self.load_schedule.level_at(now_s)
-        actual = self.scheduler.execute(kernel_times, level, self._rng)
+        gpu_busy_s: float | None = None
+        schedule = self.engine.release_schedule(point) if arrivals else ()
+        if len(schedule) > 1:
+            # Arrival-gated execution: split the kernel sequence at the
+            # release gates; each segment starts at max(gate, previous
+            # segment's finish).  A single-entry schedule degenerates to
+            # the monolithic path below (same scheduler call, same RNG
+            # draws).
+            bounds = [j for _name, j in schedule] + [point + len(kernel_times)]
+            busy_end = -math.inf
+            gpu_busy = 0.0
+            for (gate_name, jstart), jend in zip(schedule, bounds[1:]):
+                seg = kernel_times[jstart - point:jend - point]
+                seg_exec = self.scheduler.execute(seg, level, self._rng)
+                gpu_busy += seg_exec
+                start = max(arrivals.get(gate_name, now_s), busy_end)
+                busy_end = start + seg_exec
+            actual = max(busy_end - now_s, 0.0)
+            gpu_busy_s = gpu_busy
+        else:
+            actual = self.scheduler.execute(kernel_times, level, self._rng)
 
         predicted = self.engine.predicted_server_time(point)
         if predicted > 0:
-            self.monitor.record(now_s, actual, predicted)
+            # k tracks compute slowdown, so it is fed GPU occupancy — the
+            # exposed (overlap-credited) time would make a loaded server
+            # look idle whenever uploads hide its queueing.
+            observed = gpu_busy_s if gpu_busy_s is not None else actual
+            self.monitor.record(now_s, observed, predicted)
         self.offload_count += 1
         return OffloadReply(
             request_id=request_id,
@@ -243,6 +292,7 @@ class EdgeServer:
             cache_hit=cache_hit,
             partition_overhead_s=overhead,
             tensors=result_tensors,
+            gpu_busy_s=gpu_busy_s,
         )
 
     def handle_offload_batch(

@@ -20,6 +20,7 @@ from repro.hardware.background import IDLE, LoadSchedule
 from repro.network.channel import Channel, NetworkParams
 from repro.network.faults import FaultPlan, FaultyChannel, ServerFaultPlan
 from repro.network.traces import BandwidthTrace, ConstantTrace
+from repro.network.streaming import StreamingConfig
 from repro.nn.executor import BACKENDS
 from repro.nn.parallel import ParallelConfig
 from repro.profiling.predictor import LatencyPredictor
@@ -61,6 +62,12 @@ class SystemConfig:
     #: (sample × chain) tasks on a shared thread pool, bit-identical to
     #: serial execution.  None keeps plans serial.
     parallelism: ParallelConfig | None = None
+    #: Opt-in streaming pipelined transport: chunked uploads, codec-aware
+    #: joint (point, codec, chunking) decisions, arrival-gated tail
+    #: execution on the server.  None keeps the monolithic fp32 upload.
+    #: Requires the ``loadpart`` policy (the joint scan lives in the
+    #: LoADPart engine).
+    streaming: StreamingConfig | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -85,6 +92,13 @@ class SystemConfig:
         if (self.resilience is not None
                 and not isinstance(self.resilience, ResilienceConfig)):
             raise ValueError("resilience must be a ResilienceConfig or None")
+        if self.streaming is not None:
+            if not isinstance(self.streaming, StreamingConfig):
+                raise ValueError("streaming must be a StreamingConfig or None")
+            if self.policy != "loadpart":
+                raise ValueError(
+                    "streaming requires policy='loadpart' (the joint "
+                    f"(point, codec) scan); got policy={self.policy!r}")
 
 
 class Timeline:
@@ -197,6 +211,7 @@ class OffloadingSystem:
             model_seed=self.config.seed,
             resilience=self.config.resilience,
             parallelism=self.config.parallelism,
+            streaming=self.config.streaming,
         )
         self.loop = EventLoop()
 

@@ -80,6 +80,88 @@ class TestNumerics:
         assert np.argmax(result) == np.argmax(reference)
 
 
+ALL_CODECS = sorted(TensorCodec.BYTES_PER_ELEMENT)
+
+#: Input dtypes a caller may legitimately hand to ``encode`` — every codec
+#: normalises to float32 first, so the round trip is judged against the
+#: float32 view of the input.
+INPUT_DTYPES = (np.float32, np.float64, np.float16)
+
+
+def _inputs(rng, dtype):
+    """(label, array) cases: contiguous, three non-contiguous views, empties."""
+    base = (rng.standard_normal((6, 8, 10)) * 4).astype(dtype)
+    return [
+        ("contiguous", base),
+        ("strided", base[::2, :, ::3]),
+        ("transposed", base.transpose(2, 0, 1)),
+        ("reversed", base[:, ::-1, :]),
+        ("zero_rows", base[:0]),
+        ("empty", np.empty((0,), dtype=dtype)),
+    ]
+
+
+class TestRoundTripMatrix:
+    """Every codec × input dtype × (non-)contiguity × zero-size."""
+
+    @pytest.mark.parametrize("dtype", INPUT_DTYPES,
+                             ids=[np.dtype(d).name for d in INPUT_DTYPES])
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_round_trip(self, rng, name, dtype):
+        codec = TensorCodec(name)
+        for label, x in _inputs(rng, dtype):
+            ref = np.ascontiguousarray(x, dtype=np.float32)
+            out = codec.round_trip(x)
+            assert out.shape == ref.shape, (label, out.shape)
+            assert out.dtype == np.float32
+            if codec.lossless:
+                # Byte-identical, not merely close.
+                assert out.tobytes() == ref.tobytes(), (name, label)
+            else:
+                bound = codec.error_bound(ref)
+                err = float(np.abs(out - ref).max()) if ref.size else 0.0
+                assert err <= bound, (name, label, err, bound)
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_zero_size_tensors(self, name):
+        codec = TensorCodec(name)
+        for shape in ((0,), (0, 4), (3, 0, 5)):
+            x = np.empty(shape, dtype=np.float32)
+            enc = codec.encode(x)
+            assert enc.shape == shape
+            out = codec.decode(enc)
+            assert out.shape == shape and out.size == 0
+            assert codec.max_abs_error(x) == 0.0
+            assert codec.error_bound(x) >= 0.0
+            assert codec.wire_bytes(0) == 0
+
+    @pytest.mark.parametrize("name", ALL_CODECS)
+    def test_error_bound_dominates_observed_error(self, rng, name):
+        codec = TensorCodec(name)
+        for scale in (1e-3, 1.0, 1e3):
+            x = (rng.standard_normal((32, 32)) * scale).astype(np.float32)
+            assert codec.max_abs_error(x) <= codec.error_bound(x)
+        if codec.lossless:
+            assert codec.error_bound(rng.standard_normal((4, 4))
+                                     .astype(np.float32)) == 0.0
+
+    def test_special_values_survive_lossless(self):
+        x = np.array([0.0, -0.0, np.inf, -np.inf, np.nan,
+                      np.float32(1e-45), 3.14], dtype=np.float32)
+        for name in ("fp32", "zlib"):
+            out = TensorCodec(name).round_trip(x)
+            assert out.tobytes() == x.tobytes()
+
+    def test_decode_any_round_trips_every_codec(self, rng):
+        from repro.network.codec import decode_any
+
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        for name in ALL_CODECS:
+            codec = TensorCodec(name)
+            out = decode_any(codec.encode(x))
+            assert float(np.abs(out - x).max()) <= codec.error_bound(x)
+
+
 class TestDecisionImpact:
     def test_compression_shifts_point_earlier(self, trained_report):
         """Cheaper uploads never push the partition point later."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.network.faults import FaultPlan
+from repro.network.streaming import StreamingConfig
 from repro.nn.parallel import ParallelConfig
 from repro.runtime.batching import BatchingConfig
 from repro.runtime.messages import STATUSES
@@ -39,12 +40,12 @@ ZERO_FAULTS = FaultPlan(seed=5)
 
 
 def run_fleet(engine, *, batching=None, parallelism=None, resilience=None,
-              faults=None, seed=7):
+              faults=None, streaming=None, seed=7):
     """One fleet run → (per-timeline record signatures, client outputs)."""
     config = SystemConfig(
         seed=seed, policy="loadpart", functional=True, backend="planned",
         batching=batching, parallelism=parallelism,
-        resilience=resilience, faults=faults,
+        resilience=resilience, faults=faults, streaming=streaming,
     )
     system = MultiClientSystem(engine, CLIENTS, config=config)
     result = system.run(DURATION_S)
@@ -113,6 +114,59 @@ class TestInteractionMatrix:
                 for (_rid, _point, status, _retries, _bs, total_s) in timeline:
                     assert status != "failed"
                     assert total_s != float("inf")
+
+
+#: Chunked streaming with the full lossless-first codec menu: the joint
+#: decision may pick zlib + chunked uploads per request.
+STREAMING = StreamingConfig(chunk_bytes=4096)
+#: Opt-in that turns nothing on: no chunking, fp32 only.
+DEGENERATE_STREAMING = StreamingConfig(chunk_bytes=None, codecs=("fp32",))
+
+
+@pytest.mark.parametrize("resilience", [None, ResilienceConfig()],
+                         ids=["trusting", "resilient"])
+@pytest.mark.parametrize("batching", [None, BatchingConfig(window_s=0.004)],
+                         ids=["unbatched", "batched"])
+class TestStreamingInteractions:
+    """Streaming × {batching, threads 1/2, resilience, faults zero/active}."""
+
+    def test_streaming_matrix_completes(self, squeezenet_engine, batching,
+                                        resilience):
+        runs = {}
+        for threads in (1, 2):
+            for fault_name, faults in (("zero", ZERO_FAULTS),
+                                       ("active", ACTIVE_FAULTS)):
+                result, signature, outputs = run_fleet(
+                    squeezenet_engine, batching=batching,
+                    resilience=resilience, faults=faults,
+                    parallelism=ParallelConfig(threads=threads),
+                    streaming=STREAMING,
+                )
+                assert result.total_requests > 0
+                assert len(result.timelines) == CLIENTS
+                for timeline in result.timelines:
+                    for record in timeline:
+                        assert record.status in STATUSES
+                runs[(threads, fault_name)] = (signature, outputs)
+        # Simulated timelines stay independent of real thread interleaving
+        # even with the streamed upload path in the loop.
+        for fault_name in ("zero", "active"):
+            assert runs[(2, fault_name)] == runs[(1, fault_name)], \
+                f"threads changed the streamed {fault_name}-fault fleet"
+
+    def test_degenerate_streaming_is_plain_bytewise(
+            self, squeezenet_engine, batching, resilience):
+        """No chunking + lossless-identity codec + zero-rate faults +
+        serial scheduling == the non-streaming path, bytewise."""
+        plain = run_fleet(squeezenet_engine, batching=batching,
+                          resilience=resilience, faults=ZERO_FAULTS,
+                          parallelism=ParallelConfig(threads=1))
+        degenerate = run_fleet(squeezenet_engine, batching=batching,
+                               resilience=resilience, faults=ZERO_FAULTS,
+                               parallelism=ParallelConfig(threads=1),
+                               streaming=DEGENERATE_STREAMING)
+        assert degenerate[0].total_requests == plain[0].total_requests
+        assert (degenerate[1], degenerate[2]) == (plain[1], plain[2])
 
 
 class TestSeedDeterminism:

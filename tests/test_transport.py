@@ -1,0 +1,190 @@
+"""Real-socket transport: loopback bit-exactness, streaming, error replies.
+
+:mod:`repro.runtime.transport` is the asyncio face of the offload path.
+These tests run a :class:`TransportServer` on an ephemeral loopback port
+inside the test process (no subprocess, no pytest-asyncio — each test is
+a sync function driving one ``asyncio.run``) and pin:
+
+- monolithic fp32 and streamed-lossless requests reproduce local
+  execution **bit-exactly**;
+- lossy codecs stay within the codec's declared error bound;
+- the server answers a bad request with an ``error`` reply and keeps
+  serving the same connection;
+- frame helpers round-trip headers and payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.graph.partitioner import GraphPartitioner
+from repro.models import build_model
+from repro.network.codec import TensorCodec
+from repro.nn import GraphExecutor, SegmentExecutor
+from repro.runtime.transport import (
+    OffloadOutcome,
+    TransportClient,
+    TransportServer,
+    recv_frame,
+    send_frame,
+)
+
+MODEL = "squeezenet"
+SEED = 11
+POINT = 47
+
+
+@pytest.fixture(scope="module")
+def local_reference():
+    """(graph, reference output, boundary tensors at POINT)."""
+    graph = build_model(MODEL)
+    executor = GraphExecutor(graph, seed=SEED)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(graph.input_spec.shape).astype(np.float32)
+    reference = executor.run(x)
+    part = GraphPartitioner(graph).partition(POINT)
+    head = SegmentExecutor(part.head, params=executor.params)
+    boundary = head.run({graph.input_name: x})
+    return graph, reference, boundary
+
+
+def _with_session(coro_fn):
+    """Start a server on an ephemeral port, connect, run, tear down."""
+    async def main():
+        server = TransportServer(MODEL, seed=SEED)
+        host, port = await server.start()
+        client = await TransportClient.connect(host, port)
+        try:
+            return await coro_fn(client)
+        finally:
+            await client.shutdown_server()
+            await client.close()
+            await server.wait_closed()
+    return asyncio.run(main())
+
+
+class TestLoopback:
+    def test_monolithic_fp32_bit_exact(self, local_reference):
+        _graph, reference, boundary = local_reference
+
+        async def drive(client):
+            return await client.offload(POINT, boundary)
+
+        out = _with_session(drive)
+        assert isinstance(out, OffloadOutcome)
+        assert out.chunks == 1 and out.codec == "fp32"
+        assert out.result.tobytes() == np.ascontiguousarray(reference).tobytes()
+        assert out.tail_s <= out.server_s
+
+    def test_streamed_lossless_bit_exact(self, local_reference):
+        _graph, reference, boundary = local_reference
+
+        async def drive(client):
+            return await client.offload(POINT, boundary, codec="zlib",
+                                        chunk_bytes=8192)
+
+        out = _with_session(drive)
+        assert out.chunks > 1 and out.codec == "zlib"
+        assert out.result.tobytes() == np.ascontiguousarray(reference).tobytes()
+
+    def test_streamed_lossy_within_bound(self, local_reference):
+        """int8 on the wire: the reply matches local execution of the
+        round-tripped boundary, and the boundary error obeys the bound."""
+        graph, _reference, boundary = local_reference
+
+        async def drive(client):
+            return await client.offload(POINT, boundary, codec="int8",
+                                        chunk_bytes=8192)
+
+        out = _with_session(drive)
+        codec = TensorCodec("int8")
+        for tensor in boundary.values():
+            assert codec.max_abs_error(tensor) <= codec.error_bound(tensor)
+        executor = GraphExecutor(graph, seed=SEED)
+        part = GraphPartitioner(graph).partition(POINT)
+        tail = SegmentExecutor(part.tail, params=executor.params)
+        expected = tail.run({k: codec.round_trip(v)
+                             for k, v in boundary.items()})[graph.output_name]
+        assert out.result.tobytes() == np.ascontiguousarray(expected).tobytes()
+
+    def test_wire_order_override_is_equivalent(self, local_reference):
+        """Any permutation of the crossing tensors decodes to the same
+        result — wire order only affects overlap, never the value."""
+        _graph, reference, boundary = local_reference
+        order = sorted(boundary, reverse=True)
+
+        async def drive(client):
+            return await client.offload(POINT, boundary, codec="zlib",
+                                        chunk_bytes=4096, order=order)
+
+        out = _with_session(drive)
+        assert out.result.tobytes() == np.ascontiguousarray(reference).tobytes()
+
+    def test_multiple_requests_one_connection(self, local_reference):
+        _graph, reference, boundary = local_reference
+
+        async def drive(client):
+            outs = []
+            for chunk_bytes in (None, 16384, 4096):
+                outs.append(await client.offload(
+                    POINT, boundary, codec="zlib" if chunk_bytes else "fp32",
+                    chunk_bytes=chunk_bytes))
+            return outs
+
+        ref_bytes = np.ascontiguousarray(reference).tobytes()
+        for out in _with_session(drive):
+            assert out.result.tobytes() == ref_bytes
+
+
+class TestErrorHandling:
+    def test_error_reply_keeps_connection_serving(self, local_reference):
+        _graph, reference, boundary = local_reference
+
+        async def drive(client):
+            with pytest.raises(RuntimeError, match="server error"):
+                await client.offload(10 ** 6, boundary)  # invalid point
+            return await client.offload(POINT, boundary)
+
+        out = _with_session(drive)
+        assert out.result.tobytes() == np.ascontiguousarray(reference).tobytes()
+
+    def test_bad_order_rejected_client_side(self, local_reference):
+        _graph, _reference, boundary = local_reference
+
+        async def drive(client):
+            with pytest.raises(ValueError, match="order must cover"):
+                await client.offload(POINT, boundary, order=["nope"])
+            return True
+
+        assert _with_session(drive)
+
+
+class TestFrames:
+    def test_frame_round_trip(self):
+        async def main():
+            reader = asyncio.StreamReader()
+
+            class _Writer:
+                def __init__(self):
+                    self.buf = bytearray()
+
+                def write(self, data):
+                    self.buf.extend(data)
+
+                async def drain(self):
+                    pass
+
+            writer = _Writer()
+            header = {"op": "chunk", "request_id": 3}
+            payload = b"\x00\x01" * 100
+            await send_frame(writer, header, payload)
+            reader.feed_data(bytes(writer.buf))
+            reader.feed_eof()
+            got_header, got_payload = await recv_frame(reader)
+            assert got_header == header
+            assert got_payload == payload
+
+        asyncio.run(main())

@@ -36,6 +36,14 @@ output vs the serial batched plan vs per-sample naive runs — is enforced
 unconditionally.  ``chain_only`` and ``branchy_serial`` cells are
 informational (the former is gated by the parallel_chains report, the
 latter carries PR 4's accepted chain-compile overhead).
+
+``BENCH_streaming.json`` reports gate on the candidate alone (the numbers
+come from the declared cost model, so host speed cancels entirely):
+streamed lossless uploads must beat the monolithic fp32 upload by at
+least 1.3x at every pinned transfer-dominated (≤8 Mbps) cell, the joint
+``(point, codec, chunking)`` policy may not regress the plain Algorithm 1
+decision by more than 5% at any bandwidth, and every model must shift its
+``(point, codec)`` choice across the sweep.
 """
 
 from __future__ import annotations
@@ -56,6 +64,13 @@ SERIAL_CONTROL_TOLERANCE = 0.05
 #: parallel_samples gate: ≥1.2x on at least one (batch, threads) cell
 #: that schedules samples in parallel (multi-core hosts only).
 SAMPLE_SPEEDUP_FLOOR = 1.2
+
+#: streaming gates: streamed-lossless uploads must beat monolithic fp32
+#: by ≥1.3x at every transfer-dominated (≤8 Mbps) pinned cell, the joint
+#: policy may not regress the plain decision by more than 5% anywhere,
+#: and each model's sweep must shift its (point, codec) choice.
+STREAMING_LOW_BW_FLOOR = 1.3
+STREAMING_POLICY_TOLERANCE = 0.05
 
 
 def load(path: pathlib.Path) -> dict:
@@ -217,6 +232,55 @@ def compare_parallel_samples(baseline: dict, candidate: dict,
     return regressions
 
 
+def compare_streaming(baseline: dict, candidate: dict,
+                      threshold: float) -> list[str]:
+    """Gate streamed+codec offloading on the candidate's own report.
+
+    All numbers come from the engine's declared cost model, so they are
+    host-independent; the baseline provides side-by-side context only.
+    Hard gates: the transfer-bound speedup floor at low bandwidth, the
+    joint-policy regression bound, and a demonstrable (point, codec)
+    shift across each model's bandwidth sweep.
+    """
+    regressions: list[str] = []
+    base_results = baseline["results"]
+    cand_results = candidate["results"]
+    low_bw = candidate.get("low_bw_mbps", 8.0)
+    for name in sorted(cand_results):
+        entry = cand_results[name]
+        base = base_results.get(name)
+        low_ratio = entry["min_low_bw_ratio"]
+        policy_reg = entry["max_policy_regression"]
+        marker = ""
+        if low_ratio < STREAMING_LOW_BW_FLOOR:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: transfer-bound ratio {low_ratio:.2f}x at "
+                f"<= {low_bw:.0f} Mbps below the "
+                f"{STREAMING_LOW_BW_FLOOR:.1f}x floor")
+        if policy_reg > STREAMING_POLICY_TOLERANCE:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: joint policy regresses the plain decision by "
+                f"{policy_reg * 100:+.1f}% > "
+                f"{STREAMING_POLICY_TOLERANCE * 100:.0f}%")
+        shifts = {tuple(s) for s in entry["distinct_point_codec"]}
+        if len(shifts) < 2:
+            marker = "  <-- REGRESSION"
+            regressions.append(
+                f"{name}: decision never shifts (point, codec) across the "
+                f"bandwidth sweep: {sorted(shifts)}")
+        context = (f"baseline {base['min_low_bw_ratio']:.2f}x  "
+                   if base else "")
+        print(f"{name:14s} pinned p={entry['pinned_point']:3d}  low-bw ratio "
+              f"{context}candidate {low_ratio:.2f}x  policy regression "
+              f"{policy_reg * 100:+.2f}%  "
+              f"{len(shifts)} (point, codec) choices{marker}")
+    if not cand_results:
+        raise SystemExit("candidate report has no models; nothing to gate")
+    return regressions
+
+
 def compare(baseline: dict, candidate: dict, threshold: float,
             metric: str = "planned_ms") -> list[str]:
     """Returns a list of human-readable regression messages (empty = pass)."""
@@ -268,7 +332,8 @@ def main(argv=None) -> int:
 
     baseline = load(args.baseline)
     candidate = load(args.candidate)
-    for kind in ("resilience", "parallel_chains", "parallel_samples"):
+    for kind in ("resilience", "parallel_chains", "parallel_samples",
+                 "streaming"):
         if (baseline.get("benchmark") == kind) != (candidate.get("benchmark") == kind):
             raise SystemExit(f"cannot compare a {kind} report against "
                              "a different benchmark type")
@@ -279,6 +344,8 @@ def main(argv=None) -> int:
     elif baseline.get("benchmark") == "parallel_samples":
         regressions = compare_parallel_samples(baseline, candidate,
                                                args.threshold)
+    elif baseline.get("benchmark") == "streaming":
+        regressions = compare_streaming(baseline, candidate, args.threshold)
     else:
         regressions = compare(baseline, candidate,
                               args.threshold, metric=args.metric)
