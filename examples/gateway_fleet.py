@@ -1,0 +1,80 @@
+"""Sharded fleet: four edge servers behind a health-probing gateway.
+
+Saturates 60 clients against the edge and crashes server 0 mid-run,
+twice — once with a single server behind the gateway, once with four.
+Each offload is routed by the joint ``(partition point, server)`` scan
+(`engine.decide_fleet`) using the per-server load factors the
+supervisor's probes keep fresh.  When server 0 dies the supervisor
+marks it SUSPECT and then DEAD, client retries re-route to a live
+sibling, and on restart the probe loop notices the wiped queue and
+resets that server's ``k``.
+
+The single-server fleet survives the crash (availability 1.0) but one
+GPU carries everyone, so most requests retreat to local inference and
+the tail stretches.  The four-server fleet absorbs the whole offered
+load on the offload path: availability 1.0 *and* a far lower p95.
+
+Run:  python examples/gateway_fleet.py
+"""
+
+from repro import LoADPartEngine, OfflineProfiler, build_model
+from repro.network.faults import ServerFaultPlan
+from repro.network.traces import ConstantTrace
+from repro.runtime.gateway import GatewayConfig, GatewayFleetSystem
+from repro.runtime.resilience import ResilienceConfig
+from repro.runtime.supervisor import SupervisorConfig
+from repro.runtime.system import SystemConfig
+
+CLIENTS = 60
+DURATION_S = 8.0
+CRASH = (2.5, 5.0)          # server 0 dies mid-run, then restarts
+
+
+def run(engine, num_servers: int):
+    server_faults = [None] * num_servers
+    server_faults[0] = ServerFaultPlan(crash_windows=(CRASH,))
+    system = GatewayFleetSystem(
+        engine, CLIENTS, num_servers=num_servers,
+        bandwidth_trace=ConstantTrace(50e6),
+        config=SystemConfig(seed=7, think_time_s=0.6,
+                            resilience=ResilienceConfig(max_retries=2)),
+        gateway_config=GatewayConfig(probes=SupervisorConfig(
+            probe_period_s=0.5, dead_after_misses=2)),
+        server_faults=server_faults,
+    )
+    return system, system.run(DURATION_S)
+
+
+def describe(label: str, system, result) -> None:
+    records = [r for t in result.timelines for r in t]
+    completed = sum(1 for r in records if r.completed)
+    print(f"\n{label}: {len(records)} requests, "
+          f"availability {completed / len(records):.1%}, "
+          f"local fraction {result.local_fraction:.1%}, "
+          f"p95 {result.p95_latency * 1e3:.1f} ms")
+    print("  server   requests   completed   p95(ms)   failed")
+    for s in result.server_breakdown():
+        p95 = f"{s.p95_latency * 1e3:7.1f}" if s.completed else "      -"
+        print(f"  {s.server_id:>6}   {s.requests:8d}   {s.completed:9d}   "
+              f"{p95}   {s.failed:6d}")
+    restarts = {sid: h.restarts_seen for sid, h in system.supervisor.health.items()}
+    print(f"  restarts seen by the supervisor: {restarts}")
+
+
+def main() -> None:
+    report = OfflineProfiler(samples_per_category=150, seed=3).run()
+    engine = LoADPartEngine(
+        build_model("squeezenet"), report.user_predictor, report.edge_predictor
+    )
+
+    for num_servers in (1, 4):
+        system, result = run(engine, num_servers)
+        describe(f"fleet of {num_servers}", system, result)
+
+    print("\nBoth fleets ride through the crash at full availability; the")
+    print("4-server fleet also keeps the work on the edge — the supervisor")
+    print("routes around the dead shard instead of retreating to local.")
+
+
+if __name__ == "__main__":
+    main()

@@ -45,6 +45,28 @@ from repro.profiling.predictor import LatencyPredictor
 
 
 @dataclass(frozen=True)
+class FleetDecision:
+    """Result of one joint ``(partition point, server)`` decision.
+
+    ``server`` is the index of the chosen edge server, or ``None`` when
+    the winning candidate is local inference (``point == n`` — no server
+    involved at all).  ``decisions`` holds the per-server Algorithm 1
+    results, index-aligned with the ``bandwidths_up`` argument of
+    :meth:`LoADPartEngine.decide_fleet` (``None`` for servers excluded
+    from the scan), for tests and routing diagnostics.
+    """
+
+    point: int
+    server: int | None
+    predicted_latency: float
+    decisions: Tuple[PartitionDecision | None, ...]
+
+    @property
+    def is_local(self) -> bool:
+        return self.server is None
+
+
+@dataclass(frozen=True)
 class JointDecision:
     """Result of one joint ``(partition point, codec, chunking)`` decision.
 
@@ -118,8 +140,14 @@ class LoADPartEngine:
         k: float = 1.0,
         bandwidth_down: float | None = None,
         offload_only: bool = False,
+        extra_latency_s: float = 0.0,
     ) -> PartitionDecision:
-        """Run Algorithm 1 under the given link/load conditions."""
+        """Run Algorithm 1 under the given link/load conditions.
+
+        ``extra_latency_s`` is a fixed per-request penalty on every
+        offloading candidate (a server's link base latency); the 0.0
+        default reproduces the paper's scan exactly.
+        """
         return partition_decision(
             self.device_times,
             self.edge_times,
@@ -131,6 +159,79 @@ class LoADPartEngine:
             prefix=self._prefix,
             suffix=self._suffix,
             offload_only=offload_only,
+            extra_latency_s=extra_latency_s,
+        )
+
+    def decide_fleet(
+        self,
+        bandwidths_up: Sequence[float],
+        ks: Sequence[float],
+        extra_latencies_s: Sequence[float] | None = None,
+        bandwidth_down: float | None = None,
+        allowed: Sequence[int] | None = None,
+        offload_only: bool = False,
+    ) -> FleetDecision:
+        """Jointly pick ``(partition point, server)`` across an edge fleet.
+
+        Algorithm 1's prefix/suffix arrays are computed once (at engine
+        construction); the server axis is scanned per candidate — one O(n)
+        pass per server ``s`` with its own influential factor ``k_s``,
+        bandwidth estimate and link base latency, then a strict-``<``
+        minimum across servers.  Tie-breaks: within one server, the latest
+        point wins (Algorithm 1's own rule, preferring local); across
+        servers, the earliest server index wins.  A winning ``point == n``
+        means local inference and ``server is None`` — every server's
+        candidate vector contains the identical local candidate, so local
+        wins only when no server beats it.
+
+        ``allowed`` restricts the scan to a subset of server indices (the
+        gateway drops dead/saturated servers); an empty ``allowed`` yields
+        the pure local decision.  With one allowed server and zero extra
+        latency this reduces bit-for-bit to :meth:`decide`.
+        """
+        num = len(bandwidths_up)
+        if len(ks) != num:
+            raise ValueError("bandwidths_up and ks must have the same length")
+        if extra_latencies_s is None:
+            extra_latencies_s = [0.0] * num
+        elif len(extra_latencies_s) != num:
+            raise ValueError("extra_latencies_s must match bandwidths_up")
+        servers = range(num) if allowed is None else sorted(set(allowed))
+        if any(not 0 <= s < num for s in servers):
+            raise ValueError(f"allowed indices must be in [0, {num})")
+
+        decisions: List[PartitionDecision | None] = [None] * num
+        best_value = math.inf
+        best_server: int | None = None
+        best_point = self.num_nodes
+        for s in servers:
+            d = self.decide(
+                bandwidths_up[s],
+                k=ks[s],
+                bandwidth_down=bandwidth_down,
+                offload_only=offload_only,
+                extra_latency_s=extra_latencies_s[s],
+            )
+            decisions[s] = d
+            if d.predicted_latency < best_value:
+                best_value = d.predicted_latency
+                best_server = s
+                best_point = d.point
+        if best_server is None or best_point == self.num_nodes:
+            # No server allowed, or local inference won on merit: the
+            # objective value is the pure device prefix (identical in
+            # every per-server vector).
+            return FleetDecision(
+                point=self.num_nodes,
+                server=None,
+                predicted_latency=float(self._prefix[self.num_nodes]),
+                decisions=tuple(decisions),
+            )
+        return FleetDecision(
+            point=best_point,
+            server=best_server,
+            predicted_latency=best_value,
+            decisions=tuple(decisions),
         )
 
     # -- streaming: joint (point, codec, chunking) decision ------------------

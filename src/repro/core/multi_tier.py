@@ -133,6 +133,43 @@ def multi_tier_decision(
     )
 
 
+def multi_tier_objective(
+    p: int,
+    q: int,
+    device_times: Sequence[float],
+    edge_times: Sequence[float],
+    cloud_times: Sequence[float],
+    sizes: Sequence[int],
+    bandwidth_device_edge: float,
+    bandwidth_edge_cloud: float,
+    k_edge: float = 1.0,
+    k_cloud: float = 1.0,
+) -> float:
+    """Evaluate ``t(p, q)`` for one explicit two-cut placement.
+
+    The single source of truth for the three-tier objective: both the O(n)
+    scan and the brute-force reference must agree with this evaluator on
+    the placements they return, which is what the equivalence property
+    tests assert.
+    """
+    n = len(device_times)
+    if not 0 <= p <= q <= n:
+        raise ValueError(f"need 0 <= p <= q <= n, got p={p}, q={q}, n={n}")
+    f = np.asarray(device_times, dtype=np.float64)
+    g_e = np.asarray(edge_times, dtype=np.float64)
+    g_c = np.asarray(cloud_times, dtype=np.float64)
+    s = np.asarray(sizes, dtype=np.float64)
+    value = float(f[:p].sum())
+    if p == n and q == n:
+        return value  # fully local: no hop at all
+    value += s[p] * 8 / bandwidth_device_edge
+    value += k_edge * float(g_e[p:q].sum())
+    if q < n:
+        value += s[q] * 8 / bandwidth_edge_cloud
+        value += k_cloud * float(g_c[q:].sum())
+    return value
+
+
 def multi_tier_brute_force(
     device_times: Sequence[float],
     edge_times: Sequence[float],
@@ -145,21 +182,14 @@ def multi_tier_brute_force(
 ) -> MultiTierDecision:
     """O(n^2) reference implementation (tests and sanity checks)."""
     n = len(device_times)
-    f, g_e, g_c = map(lambda a: np.asarray(a, dtype=np.float64),
-                      (device_times, edge_times, cloud_times))
-    s = np.asarray(sizes, dtype=np.float64)
     best, best_pq = None, (0, 0)
     for q in range(n + 1):
         for p in range(q + 1):
-            value = float(f[:p].sum())
-            if p == n and q == n:
-                pass  # fully local
-            else:
-                value += s[p] * 8 / bandwidth_device_edge
-                value += k_edge * float(g_e[p:q].sum())
-                if q < n:
-                    value += s[q] * 8 / bandwidth_edge_cloud
-                    value += k_cloud * float(g_c[q:].sum())
+            value = multi_tier_objective(
+                p, q, device_times, edge_times, cloud_times, sizes,
+                bandwidth_device_edge, bandwidth_edge_cloud,
+                k_edge=k_edge, k_cloud=k_cloud,
+            )
             if best is None or value < best - 1e-15:
                 best, best_pq = value, (p, q)
     p, q = best_pq

@@ -85,6 +85,7 @@ def partition_decision(
     prefix: np.ndarray | None = None,
     suffix: np.ndarray | None = None,
     offload_only: bool = False,
+    extra_latency_s: float = 0.0,
 ) -> PartitionDecision:
     """Run Algorithm 1.
 
@@ -109,6 +110,13 @@ def partition_decision(
         Exclude ``p = n`` (local inference) from the scan — the paper's
         fig. 6 setting, which measures *offloaded* latency even where
         staying local would win.
+    extra_latency_s:
+        Fixed per-request link latency charged to every *offloading*
+        candidate (``p < n``) — the base latency of the server's
+        :class:`~repro.network.channel.NetworkParams`.  In a multi-server
+        fleet this is what distinguishes a nearby server from a far one at
+        equal bandwidth; the default 0.0 adds exactly nothing, keeping
+        single-server decisions bit-identical to the paper's.
     """
     n = len(device_times)
     if len(edge_times) != n:
@@ -119,6 +127,8 @@ def partition_decision(
         raise ValueError("upload bandwidth must be positive")
     if k < 1.0:
         raise ValueError(f"the influential factor k must be >= 1, got {k}")
+    if extra_latency_s < 0:
+        raise ValueError("extra_latency_s must be non-negative")
     if prefix is None:
         prefix = compute_prefix_device(device_times)
     if suffix is None:
@@ -132,7 +142,7 @@ def partition_decision(
         download = output_bytes * 8 / bandwidth_down
 
     candidates = prefix + k * suffix
-    candidates[:-1] += sizes_arr[:-1] * 8 / bandwidth_up + download
+    candidates[:-1] += sizes_arr[:-1] * 8 / bandwidth_up + download + extra_latency_s
     # candidates[n] is pure local inference: no network, no server term
     # (suffix[n] == 0 by construction).
 

@@ -100,6 +100,16 @@ class BandwidthEstimator:
         while self._window and self._window[0].time_s < now_s - self._window_s:
             self._window.popleft()
 
+    def reset(self) -> None:
+        """Forget all samples and return to the initial estimate.
+
+        The fleet supervisor calls this when it detects a server restart:
+        measurements taken against the pre-crash process (or during the
+        outage, as failure upper bounds) say nothing about the fresh one.
+        """
+        self._window.clear()
+        self._last_time_s = -math.inf
+
     # -- queries -------------------------------------------------------------------
 
     def estimate(self) -> float:

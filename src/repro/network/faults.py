@@ -28,7 +28,7 @@ provides the seed-reproducible fault model:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Tuple
 
 import numpy as np
@@ -52,6 +52,19 @@ def _validate_windows(windows: Tuple[Tuple[float, float], ...], label: str) -> N
 
 def _in_window(windows: Tuple[Tuple[float, float], ...], t: float) -> bool:
     return any(start <= t < end for start, end in windows)
+
+
+def _derive_seed(seed: int, server_id: int) -> int:
+    """Independent RNG seed for server ``server_id`` of a sharded fleet.
+
+    :class:`numpy.random.SeedSequence` keyed by ``(seed, server_id)``
+    spawns statistically independent streams per server, and — unlike
+    ``seed + server_id`` arithmetic — adding a server to the fleet can
+    never collide with (and therefore perturb) another server's stream.
+    """
+    if server_id < 0:
+        raise ValueError("server_id must be non-negative")
+    return int(np.random.SeedSequence((seed, server_id)).generate_state(1)[0])
 
 
 @dataclass(frozen=True)
@@ -91,6 +104,19 @@ class FaultPlan:
     def is_null(self) -> bool:
         """True when the plan can never produce a fault."""
         return not self.outages and self.drop_prob == 0.0 and self.latency_spike_prob == 0.0
+
+    def for_server(self, server_id: int) -> "FaultPlan":
+        """The same fault *rates* on server ``server_id``'s own RNG stream.
+
+        Server 0 gets the plan verbatim (identity — a 1-server fleet is
+        byte-identical to the direct single-server path); every other
+        server draws its drops and spikes from an independent
+        ``(seed, server_id)``-keyed stream, so adding or removing a server
+        never perturbs a sibling's fault sequence.
+        """
+        if server_id == 0:
+            return self
+        return replace(self, seed=_derive_seed(self.seed, server_id))
 
 
 class FaultyChannel(Channel):
@@ -142,6 +168,9 @@ class ServerFaultPlan:
     queue_limit: int | None = None
     retry_after_s: float = 0.05
     admission_window_s: float = 0.25
+    #: Base seed of the chaos stream this plan was generated from (see
+    #: :meth:`chaos`); hand-written plans keep the default 0.
+    seed: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -161,3 +190,49 @@ class ServerFaultPlan:
     def restarts_before(self, t: float) -> int:
         """Number of crash windows fully elapsed by ``t`` (restart count)."""
         return sum(1 for _start, end in self.crash_windows if end <= t)
+
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        server_id: int,
+        horizon_s: float,
+        crashes: int = 1,
+        mean_downtime_s: float = 2.0,
+        queue_limit: int | None = None,
+        retry_after_s: float = 0.05,
+        admission_window_s: float = 0.25,
+    ) -> "ServerFaultPlan":
+        """Generate ``crashes`` crash/restart windows for one fleet server.
+
+        The windows draw from a ``(seed, server_id)``-keyed
+        :class:`numpy.random.SeedSequence` stream, so a multi-server chaos
+        run is deterministic per server and growing the fleet never
+        changes an existing server's crash schedule.  Crash starts are
+        uniform over ``[0, horizon_s)``; downtimes are exponential around
+        ``mean_downtime_s``, clipped to end inside the horizon (every
+        crash is followed by a restart the run can observe).
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if crashes < 0:
+            raise ValueError("crashes must be non-negative")
+        if mean_downtime_s <= 0:
+            raise ValueError("mean_downtime_s must be positive")
+        rng = np.random.default_rng(_derive_seed(seed, server_id))
+        windows = []
+        for start in sorted(rng.uniform(0.0, horizon_s, size=crashes)):
+            down = float(rng.exponential(mean_downtime_s))
+            end = min(start + max(down, 1e-3), horizon_s * (1 - 1e-6))
+            if windows and start <= windows[-1][1]:
+                start = windows[-1][1] + 1e-3  # keep windows disjoint
+                if start >= end:
+                    continue
+            windows.append((float(start), float(end)))
+        return cls(
+            crash_windows=tuple(windows),
+            queue_limit=queue_limit,
+            retry_after_s=retry_after_s,
+            admission_window_s=admission_window_s,
+            seed=seed,
+        )

@@ -19,20 +19,40 @@ event-driven.
 """
 
 from repro.runtime.client import UserDevice
-from repro.runtime.multi import FleetResult, MultiClientSystem, SharedLoadTracker
+from repro.runtime.multi import (
+    FleetResult,
+    MultiClientSystem,
+    ServerStats,
+    SharedLoadTracker,
+)
 from repro.runtime.events import EventLoop
+from repro.runtime.gateway import (
+    EdgeGateway,
+    GatewayConfig,
+    GatewayDevice,
+    GatewayFleetSystem,
+)
 from repro.runtime.messages import BusyReply, InferenceRecord, LoadReply, OffloadReply
 from repro.runtime.resilience import CircuitBreaker, ResilienceConfig
 from repro.runtime.server import EdgeServer
+from repro.runtime.supervisor import FleetSupervisor, ServerHealth, SupervisorConfig
 from repro.runtime.system import OffloadingSystem, SystemConfig, Timeline
 
 __all__ = [
     "BusyReply",
     "CircuitBreaker",
+    "EdgeGateway",
     "EdgeServer",
     "FleetResult",
+    "FleetSupervisor",
+    "GatewayConfig",
+    "GatewayDevice",
+    "GatewayFleetSystem",
     "MultiClientSystem",
+    "ServerHealth",
+    "ServerStats",
     "SharedLoadTracker",
+    "SupervisorConfig",
     "EventLoop",
     "InferenceRecord",
     "LoadReply",

@@ -476,6 +476,7 @@ class UserDevice:
             codec=codec,
             chunks=chunks,
             encode_s=encode_s,
+            server_id=self.server.server_id,
         )
 
     def complete_inference(self, pending: PendingOffload, reply: OffloadReply,
@@ -549,6 +550,7 @@ class UserDevice:
             chunks=pending.chunks,
             encode_s=pending.encode_s,
             decode_s=pending.decode_s,
+            server_id=self.server.server_id,
         )
 
     def fallback_record(self, request_id: int, start_s: float, now_s: float, *,

@@ -107,6 +107,10 @@ class InferenceRecord:
     #: ``total_s`` (total = device + encode + upload + decode + server
     #: + download + overhead + wasted).
     wasted_s: float = 0.0
+    #: Edge server this request was (last) sent to; ``None`` for requests
+    #: resolved purely locally (no server involved).  The single-server
+    #: runtime stamps 0, so fleet-routed and direct records compare equal.
+    server_id: int | None = None
 
     @property
     def is_local(self) -> bool:

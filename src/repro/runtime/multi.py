@@ -125,11 +125,53 @@ class SharedEdgeServer(EdgeServer):
 
 
 @dataclass(frozen=True)
+class ServerStats:
+    """Per-server slice of a fleet run (nan-safe when a server sat idle).
+
+    ``requests`` counts records whose (final) attempt was sent to this
+    server; purely-local records belong to no server and appear in no
+    breakdown row.  Latency statistics cover completed requests only, so
+    an empty or all-failed server reports ``nan`` rather than raising —
+    mirroring the nan-on-empty convention of the fleet aggregates.
+    """
+
+    server_id: int
+    requests: int
+    completed: int
+    availability: float
+    mean_latency: float
+    p95_latency: float
+    rejected: int
+    failed: int
+    fallbacks: int
+
+    @staticmethod
+    def from_records(server_id: int, records: List[InferenceRecord]) -> "ServerStats":
+        completed = [r for r in records if r.completed]
+        lat = np.array([r.total_s for r in completed])
+        return ServerStats(
+            server_id=server_id,
+            requests=len(records),
+            completed=len(completed),
+            availability=(len(completed) / len(records) if records
+                          else float("nan")),
+            mean_latency=float(lat.mean()) if lat.size else float("nan"),
+            p95_latency=(float(np.percentile(lat, 95)) if lat.size
+                         else float("nan")),
+            rejected=sum(1 for r in records if r.status == "rejected"),
+            failed=sum(1 for r in records if r.status == "failed"),
+            fallbacks=sum(1 for r in records if r.status == "fallback_local"),
+        )
+
+
+@dataclass(frozen=True)
 class FleetResult:
     """Per-client timelines plus fleet-level aggregates."""
 
     timelines: Tuple[Timeline, ...]
     policy: str
+    #: Edge servers behind the run (1 for the classic shared-server fleet).
+    num_servers: int = 1
 
     def _latencies(self) -> np.ndarray:
         arrays = [t.latencies for t in self.timelines]
@@ -178,6 +220,27 @@ class FleetResult:
         """Latencies of the completed requests only (finite by construction)."""
         records = [r for t in self.timelines for r in t if r.completed]
         return np.array([r.total_s for r in records])
+
+    @property
+    def local_requests(self) -> int:
+        """Requests resolved with no server involved at all."""
+        return sum(1 for t in self.timelines for r in t if r.server_id is None)
+
+    def server_breakdown(self) -> Tuple[ServerStats, ...]:
+        """One :class:`ServerStats` row per server id ``0..num_servers-1``.
+
+        Servers that never saw a request still get a row (with ``nan``
+        statistics), so dashboards and gates can iterate the fleet without
+        existence checks.
+        """
+        by_server: dict[int, List[InferenceRecord]] = {
+            sid: [] for sid in range(self.num_servers)}
+        for timeline in self.timelines:
+            for r in timeline:
+                if r.server_id is not None and r.server_id in by_server:
+                    by_server[r.server_id].append(r)
+        return tuple(ServerStats.from_records(sid, by_server[sid])
+                     for sid in range(self.num_servers))
 
 
 class MultiClientSystem:

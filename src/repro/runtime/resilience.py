@@ -101,6 +101,16 @@ class CircuitBreaker:
     def is_open(self) -> bool:
         return self._opened_at_s is not None
 
+    @property
+    def state(self) -> str:
+        """``"closed"`` or ``"open"`` — for supervisor observability.
+
+        Half-open is not a stored state: an open breaker past its cooldown
+        simply *lets the next probe's success close it*
+        (:meth:`probe_may_close`), so externally it is still ``"open"``.
+        """
+        return "open" if self.is_open else "closed"
+
     def allow_offload(self, now_s: float) -> bool:
         """May a user request take the offload path right now?"""
         del now_s  # requests never half-open the breaker; probes do

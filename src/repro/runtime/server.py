@@ -65,8 +65,11 @@ class EdgeServer:
         model_seed: int = 0,
         fault_plan: ServerFaultPlan | None = None,
         parallelism: ParallelConfig | None = None,
+        server_id: int = 0,
     ) -> None:
         self.engine = engine
+        #: Identity of this server inside a sharded fleet (0 when alone).
+        self.server_id = server_id
         self.load_schedule = load_schedule or LoadSchedule([(0.0, IDLE)])
         self.gpu_model = gpu_model or GpuModel()
         self.scheduler = scheduler or GpuScheduler()

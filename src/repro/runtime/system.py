@@ -138,6 +138,11 @@ class Timeline:
     def between(self, start_s: float, end_s: float) -> "Timeline":
         return Timeline([r for r in self.records if start_s <= r.start_s < end_s])
 
+    def for_server(self, server_id: int | None) -> "Timeline":
+        """Only the requests whose final attempt went to ``server_id``
+        (``None`` selects the purely-local records)."""
+        return Timeline([r for r in self.records if r.server_id == server_id])
+
     # -- resilience summaries ------------------------------------------------
 
     @property

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.graph.partitioner import GraphPartitioner
 from repro.models import build_model
+from repro.network.channel import TransferResult
 from repro.network.codec import EncodedTensor, TensorCodec, decode_any
 from repro.network.streaming import plan_chunks
 from repro.nn.executor import GraphExecutor
@@ -45,11 +46,28 @@ from repro.nn.plan import SegmentPlan
 __all__ = [
     "OffloadOutcome",
     "TransportClient",
+    "TransportFailure",
     "TransportServer",
     "recv_frame",
     "run_server",
     "send_frame",
 ]
+
+
+class TransportFailure(RuntimeError):
+    """A request died mid-connection (reset, truncation, timeout).
+
+    Carries a failed :class:`~repro.network.channel.TransferResult` whose
+    ``elapsed_s`` is the wall time the client spent before learning the
+    request was lost — the same shape the simulated channel reports, so
+    resilient callers handle real-socket failures and simulated ones with
+    one code path.  The client never hangs: a dropped socket raises
+    immediately, a silent server raises at ``timeout_s``.
+    """
+
+    def __init__(self, message: str, result: TransferResult) -> None:
+        super().__init__(message)
+        self.result = result
 
 _LEN = struct.Struct("!II")
 
@@ -259,12 +277,16 @@ class TransportClient:
 
     async def offload(self, point: int, boundary: Dict[str, np.ndarray],
                       codec: str = "fp32", chunk_bytes: int | None = None,
-                      order: Sequence[str] | None = None) -> OffloadOutcome:
+                      order: Sequence[str] | None = None,
+                      timeout_s: float | None = None) -> OffloadOutcome:
         """Ship one request; ``chunk_bytes`` selects the streamed mode.
 
         ``order`` fixes the wire order of the crossing tensors (the engine's
         first-consumer order maximises server-side overlap); default is the
-        dict's own order.
+        dict's own order.  ``timeout_s`` bounds the whole request: a reply
+        that has not arrived by then — or a connection that resets mid-way
+        — raises :class:`TransportFailure` carrying a failed
+        :class:`~repro.network.channel.TransferResult`, never hangs.
         """
         self._next_id += 1
         request_id = self._next_id
@@ -280,24 +302,49 @@ class TransportClient:
             "point": int(point),
             "tensors": metas,
         }
-        if chunk_bytes is None:
-            header["op"] = "offload"
-            await send_frame(self._writer, header, payload)
-            chunks = 1
-        else:
-            header["op"] = "begin"
-            await send_frame(self._writer, header)
-            sizes = plan_chunks(len(payload), chunk_bytes)
-            cursor = 0
-            for size in sizes:
-                await send_frame(
-                    self._writer,
-                    {"op": "chunk", "request_id": request_id},
-                    payload[cursor:cursor + size])
-                cursor += size
-            await send_frame(self._writer, {"op": "end", "request_id": request_id})
-            chunks = max(len(sizes), 1)
-        reply, body = await recv_frame(self._reader)
+        t0 = time.perf_counter()
+
+        async def exchange() -> Tuple[dict, bytes, int]:
+            if chunk_bytes is None:
+                header["op"] = "offload"
+                await send_frame(self._writer, header, payload)
+                nchunks = 1
+            else:
+                header["op"] = "begin"
+                await send_frame(self._writer, header)
+                sizes = plan_chunks(len(payload), chunk_bytes)
+                cursor = 0
+                for size in sizes:
+                    await send_frame(
+                        self._writer,
+                        {"op": "chunk", "request_id": request_id},
+                        payload[cursor:cursor + size])
+                    cursor += size
+                await send_frame(self._writer,
+                                 {"op": "end", "request_id": request_id})
+                nchunks = max(len(sizes), 1)
+            return *(await recv_frame(self._reader)), nchunks
+
+        try:
+            if timeout_s is not None:
+                reply, body, chunks = await asyncio.wait_for(
+                    exchange(), timeout=timeout_s)
+            else:
+                reply, body, chunks = await exchange()
+        except asyncio.TimeoutError as exc:
+            # Checked first: TimeoutError is an OSError subclass on
+            # modern Pythons, and a silent server is not a dead link.
+            raise TransportFailure(
+                f"no reply within {timeout_s}s",
+                TransferResult.failed(len(payload), timeout_s),
+            ) from exc
+        except (asyncio.IncompleteReadError, ConnectionError, OSError) as exc:
+            elapsed = time.perf_counter() - t0
+            raise TransportFailure(
+                f"connection lost mid-request: {type(exc).__name__}",
+                TransferResult(delivered=False, elapsed_s=elapsed,
+                               nbytes=len(payload)),
+            ) from exc
         if reply.get("op") == "error":
             raise RuntimeError(f"server error: {reply.get('message')}")
         if reply.get("request_id") != request_id:

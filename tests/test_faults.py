@@ -189,3 +189,62 @@ class TestEstimatorResilience:
         est.add_probe(0.0, 100_000, 0.1)
         est.add_probe(100.0, 100_000, 0.1)
         assert est.sample_count == 2
+
+
+class TestPerServerStreams:
+    """Satellite: fault RNG streams keyed by ``(seed, server_id)``."""
+
+    def test_for_server_zero_is_identity(self):
+        plan = FaultPlan(seed=7, drop_prob=0.2)
+        assert plan.for_server(0) is plan
+
+    def test_for_server_is_deterministic(self):
+        plan = FaultPlan(seed=7, drop_prob=0.2)
+        assert plan.for_server(3) == plan.for_server(3)
+
+    def test_for_server_streams_are_independent(self):
+        plan = FaultPlan(seed=7, drop_prob=0.2)
+        seeds = {plan.for_server(s).seed for s in range(6)}
+        assert len(seeds) == 6
+
+    def test_for_server_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=7).for_server(-1)
+
+    def test_adding_a_server_never_perturbs_siblings(self):
+        """Growing the fleet keeps every existing server's plan fixed."""
+        plan = FaultPlan(seed=13, drop_prob=0.1)
+        small = [plan.for_server(s) for s in range(2)]
+        large = [plan.for_server(s) for s in range(5)]
+        assert large[:2] == small
+
+
+class TestChaosPlans:
+    def test_windows_fit_the_horizon(self):
+        for sid in range(4):
+            plan = ServerFaultPlan.chaos(seed=3, server_id=sid,
+                                         horizon_s=10.0, crashes=3)
+            for start, end in plan.crash_windows:
+                assert 0.0 <= start < end <= 10.0
+
+    def test_deterministic_per_server(self):
+        a = ServerFaultPlan.chaos(seed=3, server_id=1, horizon_s=10.0)
+        b = ServerFaultPlan.chaos(seed=3, server_id=1, horizon_s=10.0)
+        assert a == b
+
+    def test_servers_get_distinct_schedules(self):
+        plans = [ServerFaultPlan.chaos(seed=3, server_id=s, horizon_s=10.0)
+                 for s in range(4)]
+        assert len({p.crash_windows for p in plans}) > 1
+
+    def test_windows_are_disjoint_and_ordered(self):
+        plan = ServerFaultPlan.chaos(seed=5, server_id=0, horizon_s=20.0,
+                                     crashes=5)
+        windows = plan.crash_windows
+        for (s1, e1), (s2, e2) in zip(windows, windows[1:]):
+            assert e1 <= s2
+
+    def test_every_crash_has_an_observable_restart(self):
+        plan = ServerFaultPlan.chaos(seed=5, server_id=2, horizon_s=8.0,
+                                     crashes=2)
+        assert plan.restarts_before(8.0) == len(plan.crash_windows)

@@ -1,0 +1,388 @@
+"""Sharded fleet: joint (point, server) routing, supervisor, failover.
+
+Three layers of coverage:
+
+- ``decide_fleet`` unit properties (reduction to ``decide``, server
+  selection, extra-latency penalties, the ``allowed`` mask);
+- the degenerate identity: a 1-server gateway with probing disabled
+  produces records *equal* (frozen-dataclass equality, every field) to
+  the direct :class:`~repro.runtime.multi.MultiClientSystem` path;
+- the live fleet: supervisor state machine under crash/restart chaos,
+  failover re-routing, gateway admission control, and the chaos
+  interaction matrix (link faults x server faults x resilience).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.network.channel import Channel, NetworkParams
+from repro.network.faults import FaultPlan, ServerFaultPlan
+from repro.network.traces import ConstantTrace
+from repro.runtime.gateway import EdgeGateway, GatewayConfig, GatewayFleetSystem
+from repro.runtime.multi import MultiClientSystem, SharedEdgeServer, SharedLoadTracker
+from repro.runtime.resilience import ResilienceConfig
+from repro.runtime.supervisor import (
+    DEAD,
+    LIVE,
+    SUSPECT,
+    FleetSupervisor,
+    SupervisorConfig,
+)
+from repro.runtime.system import SystemConfig
+
+
+class TestDecideFleet:
+    def test_single_server_reduces_to_decide(self, alexnet_engine):
+        e = alexnet_engine
+        for bw, k in [(1e6, 1.0), (8e6, 2.5), (100e6, 1.0), (2e5, 10.0)]:
+            direct = e.decide(bw, k=k)
+            fleet = e.decide_fleet([bw], [k])
+            assert fleet.point == direct.point
+            assert fleet.predicted_latency == direct.predicted_latency
+            if fleet.point == e.num_nodes:
+                assert fleet.server is None
+            else:
+                assert fleet.server == 0
+
+    def test_picks_faster_server(self, alexnet_engine):
+        e = alexnet_engine
+        # Server 1: fat pipe, idle GPU.  Server 0: thin pipe, loaded GPU.
+        d = e.decide_fleet([2e5, 100e6], [20.0, 1.0])
+        if d.server is not None:
+            assert d.server == 1
+        # And the symmetric swap flips the choice.
+        d2 = e.decide_fleet([100e6, 2e5], [1.0, 20.0])
+        if d2.server is not None:
+            assert d2.server == 0
+
+    def test_tie_prefers_earliest_server(self, alexnet_engine):
+        d = alexnet_engine.decide_fleet([50e6, 50e6], [1.0, 1.0])
+        assert d.server in (0, None)
+
+    def test_extra_latency_steers_away(self, alexnet_engine):
+        e = alexnet_engine
+        base = e.decide_fleet([50e6, 50e6], [1.0, 1.0])
+        # A huge link penalty on server 0 moves the win to server 1.
+        penalised = e.decide_fleet([50e6, 50e6], [1.0, 1.0],
+                                   extra_latencies_s=[10.0, 0.0])
+        if base.server is not None:
+            assert penalised.server == 1
+        # Penalising everyone by an *infinite* amount forces local.
+        allpen = e.decide_fleet([50e6, 50e6], [1.0, 1.0],
+                                extra_latencies_s=[1e9, 1e9])
+        assert allpen.server is None
+        assert allpen.point == e.num_nodes
+
+    def test_allowed_mask(self, alexnet_engine):
+        e = alexnet_engine
+        d = e.decide_fleet([100e6, 100e6], [1.0, 1.0], allowed=[1])
+        assert d.server in (1, None)
+        assert d.decisions[0] is None
+        empty = e.decide_fleet([100e6, 100e6], [1.0, 1.0], allowed=[])
+        assert empty.server is None
+        assert empty.point == e.num_nodes
+        assert empty.predicted_latency == pytest.approx(
+            e.decide(100e6).candidates[e.num_nodes])
+
+    def test_decisions_are_index_aligned(self, alexnet_engine):
+        e = alexnet_engine
+        d = e.decide_fleet([8e6, 50e6], [2.0, 1.0])
+        assert len(d.decisions) == 2
+        for i, (bw, k) in enumerate([(8e6, 2.0), (50e6, 1.0)]):
+            direct = e.decide(bw, k=k)
+            assert d.decisions[i].point == direct.point
+            assert d.decisions[i].predicted_latency == direct.predicted_latency
+            np.testing.assert_array_equal(d.decisions[i].candidates,
+                                          direct.candidates)
+
+    def test_validation(self, alexnet_engine):
+        with pytest.raises(ValueError):
+            alexnet_engine.decide_fleet([8e6], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            alexnet_engine.decide_fleet([8e6, 8e6], [1.0, 1.0],
+                                        extra_latencies_s=[0.0])
+
+
+def _direct_vs_degenerate(engine, config, duration_s=2.0, clients=3):
+    direct = MultiClientSystem(engine, clients, config=config)
+    fleet = GatewayFleetSystem(engine, clients, num_servers=1, config=config,
+                               gateway_config=GatewayConfig(probes=None))
+    return direct.run(duration_s), fleet.run(duration_s)
+
+
+class TestDegenerateIdentity:
+    """1-server gateway with probing disabled == the direct path, exactly."""
+
+    @pytest.mark.parametrize("label,config", [
+        ("plain", SystemConfig()),
+        ("link_faults", SystemConfig(
+            faults=FaultPlan(seed=7, drop_prob=0.2, outages=((0.5, 0.8),)))),
+        ("server_crash", SystemConfig(
+            server_faults=ServerFaultPlan(crash_windows=((0.4, 0.9),)),
+            resilience=ResilienceConfig())),
+        ("full_chaos", SystemConfig(
+            faults=FaultPlan(seed=3, drop_prob=0.15),
+            server_faults=ServerFaultPlan(crash_windows=((0.3, 0.7),),
+                                          queue_limit=2),
+            resilience=ResilienceConfig(max_retries=1))),
+    ])
+    def test_records_identical(self, alexnet_engine, label, config):
+        direct, degen = _direct_vs_degenerate(alexnet_engine, config)
+        assert len(direct.timelines) == len(degen.timelines)
+        for td, tg in zip(direct.timelines, degen.timelines):
+            assert td.records == tg.records
+
+    def test_server_id_stamping(self, alexnet_engine):
+        _, degen = _direct_vs_degenerate(alexnet_engine, SystemConfig())
+        for timeline in degen.timelines:
+            for r in timeline:
+                assert r.server_id == (None if r.is_local else 0)
+
+
+def _fleet_parts(engine, num_servers, fault_plans=None, probes=None):
+    """Servers + channels for direct supervisor/gateway unit tests."""
+    trace = ConstantTrace(8e6)
+    servers = []
+    channels = []
+    for s in range(num_servers):
+        plan = fault_plans[s] if fault_plans else None
+        servers.append(SharedEdgeServer(
+            engine, SharedLoadTracker(), seed=100 + 1000 * s,
+            fault_plan=plan, server_id=s))
+        channels.append(Channel(trace, NetworkParams()))
+    return servers, channels
+
+
+class TestSupervisor:
+    def test_probe_marks_crashed_server_dead_then_revives(self, alexnet_engine):
+        plan = ServerFaultPlan(crash_windows=((1.0, 3.0),))
+        servers, channels = _fleet_parts(alexnet_engine, 1, [plan])
+        sup = FleetSupervisor(servers, channels,
+                              config=SupervisorConfig(dead_after_misses=2),
+                              seed=5)
+        assert sup.probe(0, 0.5)              # healthy before the crash
+        assert sup.health[0].state == LIVE
+        assert not sup.probe(0, 1.5)          # inside the window: miss 1
+        assert sup.health[0].state == SUSPECT
+        assert not sup.probe(0, 2.0)          # miss 2: declared dead
+        assert sup.health[0].state == DEAD
+        assert not sup.routable(0)
+        assert sup.live_servers() == ()
+        assert sup.probe(0, 3.5)              # restarted: back to live
+        assert sup.health[0].state == LIVE
+        assert sup.routable(0)
+
+    def test_restart_wipes_learned_state(self, alexnet_engine):
+        plan = ServerFaultPlan(crash_windows=((1.0, 2.0),))
+        servers, channels = _fleet_parts(alexnet_engine, 1, [plan])
+        sup = FleetSupervisor(servers, channels, seed=5)
+        assert sup.probe(0, 0.0)
+        sup.health[0].k = 4.0
+        sup.health[0].k_time_s = 0.0
+        assert sup.estimators[0].sample_count > 0
+        assert sup.detect_restart(0, 2.5)
+        assert sup.health[0].k == 1.0
+        assert sup.health[0].k_time_s == -math.inf
+        assert sup.estimators[0].sample_count == 0
+        # Idempotent until the *next* restart.
+        assert not sup.detect_restart(0, 2.6)
+
+    def test_k_ttl_and_bandwidth_fallback(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 1)
+        sup = FleetSupervisor(servers, channels,
+                              config=SupervisorConfig(k_ttl_s=10.0), seed=5)
+        # No data at all: fallbacks win.
+        assert sup.k_for(0, 0.0, 3.3) == 3.3
+        assert sup.bandwidth_for(0, 5e6) == 5e6
+        assert sup.probe(0, 0.0)
+        assert sup.k_for(0, 5.0, 3.3) == sup.health[0].k
+        assert sup.bandwidth_for(0, 5e6) > 0
+        assert sup.k_for(0, 20.0, 3.3) == 3.3   # expired
+
+    def test_note_busy_keeps_server_live(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 1)
+        sup = FleetSupervisor(servers, channels, seed=5)
+        sup.note_failure(0, 0.0)
+        assert sup.health[0].state == SUSPECT
+        sup.note_busy(0, 0.1)
+        assert sup.health[0].state == LIVE
+        assert sup.health[0].misses == 0
+        assert sup.health[0].busy_count == 1
+
+    def test_snapshot_shape(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 2)
+        sup = FleetSupervisor(servers, channels, seed=5)
+        rows = sup.snapshot(0.0)
+        assert set(rows) == {0, 1}
+        for row in rows.values():
+            assert row["state"] == LIVE
+            assert row["breaker"] == "closed"
+
+    def test_duplicate_server_ids_rejected(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 2)
+        servers[1].server_id = 0
+        with pytest.raises(ValueError):
+            FleetSupervisor(servers, channels)
+
+
+class TestGatewayRouting:
+    def test_exclude_is_a_preference(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 2)
+        gw = EdgeGateway(alexnet_engine, servers, channels)
+        sid, _ = gw.route(0.0, 50e6, 1.0, exclude=(0,))
+        assert sid in (1, None)
+        # Excluding the whole fleet falls back to the full pool.
+        sid2, decision = gw.route(0.0, 50e6, 1.0, exclude=(0, 1))
+        assert (sid2 is not None) == (decision.point < alexnet_engine.num_nodes)
+
+    def test_dark_fleet_resolves_locally(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 2)
+        gw = EdgeGateway(alexnet_engine, servers, channels)
+        for sid in (0, 1):
+            gw.supervisor.health[sid].state = DEAD
+        sid, decision = gw.route(0.0, 50e6, 1.0)
+        assert sid is None
+        assert decision.point == alexnet_engine.num_nodes
+
+    def test_admission_limit_rejects_when_saturated(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 1)
+        gw = EdgeGateway(alexnet_engine, servers, channels,
+                         config=GatewayConfig(admission_limit=2,
+                                              admission_window_s=1.0))
+        routed = [gw.route(0.0, 50e6, 1.0)[0] for _ in range(4)]
+        offloads = [sid for sid in routed if sid is not None]
+        if offloads:
+            assert len(offloads) <= 2
+            assert gw.rejected_count >= 1
+        # The window slides: capacity comes back.
+        sid, _ = gw.route(5.0, 50e6, 1.0)
+        assert sid == 0 or sid is None
+
+    def test_admission_spreads_across_servers(self, alexnet_engine):
+        servers, channels = _fleet_parts(alexnet_engine, 2)
+        gw = EdgeGateway(alexnet_engine, servers, channels,
+                         config=GatewayConfig(admission_limit=1,
+                                              admission_window_s=1.0))
+        routed = [gw.route(0.0, 50e6, 1.0)[0] for _ in range(2)]
+        offloads = {sid for sid in routed if sid is not None}
+        if len([s for s in routed if s is not None]) == 2:
+            assert offloads == {0, 1}
+
+
+class TestFailover:
+    def test_crashed_server_fails_over_to_sibling(self, alexnet_engine):
+        """2-server fleet, server 0 dark mid-run: availability stays 1."""
+        plan0 = ServerFaultPlan(crash_windows=((0.5, 1.6),))
+        config = SystemConfig(resilience=ResilienceConfig(max_retries=2))
+        system = GatewayFleetSystem(
+            alexnet_engine, num_clients=4, num_servers=2, config=config,
+            gateway_config=GatewayConfig(probes=SupervisorConfig(
+                probe_period_s=0.2, dead_after_misses=2)),
+            server_faults=[plan0, None],
+        )
+        result = system.run(2.0)
+        assert result.availability == 1.0
+        stats = result.server_breakdown()
+        assert len(stats) == 2
+        # The healthy sibling absorbed traffic during the outage.
+        during = [r for t in result.timelines for r in t
+                  if 0.5 <= r.start_s < 1.6 and r.server_id is not None]
+        if during:
+            assert all(r.server_id == 1 for r in during
+                       if r.completed and not r.fell_back)
+        # Supervisor noticed the crash and the restart.
+        assert system.supervisor.health[0].restarts_seen >= 1
+
+    def test_single_server_fleet_still_retries_itself(self, alexnet_engine):
+        """Exclusion is a preference: a lone server gets its own retries."""
+        plan = ServerFaultPlan(crash_windows=((0.3, 0.6),))
+        config = SystemConfig(resilience=ResilienceConfig(max_retries=2))
+        system = GatewayFleetSystem(
+            alexnet_engine, num_clients=2, num_servers=1, config=config,
+            gateway_config=GatewayConfig(probes=None),
+            server_faults=[plan],
+        )
+        result = system.run(1.0)
+        assert result.availability == 1.0
+        retried = [r for t in result.timelines for r in t if r.retries > 0]
+        for r in retried:
+            assert r.server_id in (0, None)
+
+
+class TestChaosMatrix:
+    """Link faults x server chaos x resilience, all through the gateway."""
+
+    @pytest.mark.parametrize("link", [None, FaultPlan(seed=11, drop_prob=0.2)])
+    @pytest.mark.parametrize("chaos", [False, True])
+    @pytest.mark.parametrize("resilient", [False, True])
+    def test_runs_to_completion(self, alexnet_engine, link, chaos, resilient):
+        server_faults = None
+        if chaos:
+            server_faults = [
+                ServerFaultPlan.chaos(seed=9, server_id=s, horizon_s=1.5,
+                                      crashes=1, mean_downtime_s=0.4)
+                for s in range(2)
+            ]
+        config = SystemConfig(
+            faults=link,
+            resilience=ResilienceConfig(max_retries=1) if resilient else None,
+        )
+        system = GatewayFleetSystem(
+            alexnet_engine, num_clients=3, num_servers=2, config=config,
+            gateway_config=GatewayConfig(probes=SupervisorConfig(
+                probe_period_s=0.25, dead_after_misses=2)),
+            server_faults=server_faults,
+        )
+        result = system.run(1.5)
+        assert result.total_requests > 0
+        assert 0.0 <= result.availability <= 1.0
+        if resilient:
+            # A resilient client always resolves (offload or local fallback).
+            assert result.availability == 1.0
+        for stat in result.server_breakdown():
+            assert stat.requests >= 0
+            if stat.requests == 0:
+                assert math.isnan(stat.availability)
+
+    def test_matrix_is_deterministic(self, alexnet_engine):
+        def run_once():
+            config = SystemConfig(
+                faults=FaultPlan(seed=11, drop_prob=0.2),
+                resilience=ResilienceConfig(max_retries=1))
+            system = GatewayFleetSystem(
+                alexnet_engine, num_clients=3, num_servers=2, config=config,
+                gateway_config=GatewayConfig(probes=SupervisorConfig(
+                    probe_period_s=0.25)),
+                server_faults=[
+                    ServerFaultPlan.chaos(seed=9, server_id=s, horizon_s=1.0)
+                    for s in range(2)],
+            )
+            return system.run(1.0)
+
+        a, b = run_once(), run_once()
+        for ta, tb in zip(a.timelines, b.timelines):
+            assert ta.records == tb.records
+
+
+class TestFleetSystemValidation:
+    def test_rejects_non_loadpart_policy(self, alexnet_engine):
+        with pytest.raises(ValueError, match="loadpart"):
+            GatewayFleetSystem(alexnet_engine, 1,
+                               config=SystemConfig(policy="neurosurgeon"))
+
+    def test_rejects_mismatched_fault_plans(self, alexnet_engine):
+        with pytest.raises(ValueError, match="one plan per server"):
+            GatewayFleetSystem(alexnet_engine, 1, num_servers=2,
+                               server_faults=[None])
+
+    def test_gateway_config_validation(self):
+        with pytest.raises(ValueError):
+            GatewayConfig(admission_limit=0)
+        with pytest.raises(ValueError):
+            GatewayConfig(admission_window_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(probe_period_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorConfig(dead_after_misses=0)

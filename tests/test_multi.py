@@ -134,3 +134,86 @@ class TestMultiFunctional:
         fn = system.run(0.2)
         assert [t.records for t in sim.timelines] == [t.records for t in fn.timelines]
         assert all(c.last_output is not None for c in system.clients)
+
+
+def _record(server_id=None, total=0.1, status="ok", start=0.0):
+    from repro.runtime.messages import InferenceRecord
+
+    return InferenceRecord(
+        request_id=1, start_s=start, partition_point=3,
+        estimated_bandwidth_bps=8e6, k_used=1.0, device_s=0.01,
+        upload_s=0.0 if server_id is None else 0.02,
+        server_s=0.0 if server_id is None else 0.05,
+        download_s=0.0, overhead_s=0.0, total_s=total,
+        load_level="idle", device_cache_hit=True, server_cache_hit=True,
+        status=status, server_id=server_id,
+    )
+
+
+class TestServerBreakdown:
+    def test_every_server_gets_a_row(self):
+        from repro.runtime.multi import FleetResult
+        from repro.runtime.system import Timeline
+
+        result = FleetResult(
+            timelines=(Timeline([_record(server_id=0), _record()]),),
+            policy="loadpart", num_servers=3)
+        stats = result.server_breakdown()
+        assert [s.server_id for s in stats] == [0, 1, 2]
+        assert stats[0].requests == 1
+        assert stats[1].requests == 0
+
+    def test_idle_server_is_nan_safe(self):
+        import math
+
+        from repro.runtime.multi import ServerStats
+
+        s = ServerStats.from_records(2, [])
+        assert s.requests == 0
+        assert math.isnan(s.availability)
+        assert math.isnan(s.mean_latency)
+        assert math.isnan(s.p95_latency)
+
+    def test_all_failed_server_is_nan_safe(self):
+        import math
+
+        from repro.runtime.multi import ServerStats
+
+        s = ServerStats.from_records(0, [
+            _record(server_id=0, total=float("inf"), status="failed")])
+        assert s.requests == 1
+        assert s.completed == 0
+        assert s.availability == 0.0
+        assert math.isnan(s.mean_latency)
+        assert s.failed == 1
+
+    def test_status_counters(self):
+        from repro.runtime.multi import ServerStats
+
+        s = ServerStats.from_records(0, [
+            _record(server_id=0),
+            _record(server_id=0, status="rejected"),
+            _record(server_id=0, status="fallback_local"),
+        ])
+        assert s.rejected == 1
+        assert s.fallbacks == 1
+
+    def test_local_requests_counted_separately(self):
+        from repro.runtime.multi import FleetResult
+        from repro.runtime.system import Timeline
+
+        result = FleetResult(
+            timelines=(Timeline([_record(), _record(server_id=1)]),),
+            policy="loadpart", num_servers=2)
+        assert result.local_requests == 1
+
+
+class TestTimelineForServer:
+    def test_filters_by_server_id(self):
+        from repro.runtime.system import Timeline
+
+        t = Timeline([_record(server_id=0), _record(server_id=1), _record()])
+        assert len(t.for_server(0)) == 1
+        assert len(t.for_server(1)) == 1
+        assert len(t.for_server(None)) == 1
+        assert len(t.for_server(7)) == 0

@@ -6,6 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.multi_tier import (
+    multi_tier_objective,
     MultiTierDecision,
     multi_tier_brute_force,
     multi_tier_decision,
@@ -115,3 +116,44 @@ class TestValidation:
     def test_negative_times(self):
         with pytest.raises(ValueError):
             multi_tier_decision([-1.0], [1.0], [1.0], [1, 0], 1e6, 1e6)
+
+
+class TestObjective:
+    """``multi_tier_objective``: the explicit cost any (p, q) placement pays."""
+
+    def test_decision_value_is_achieved_by_its_points(self):
+        for seed in range(20):
+            device, edge, cloud, sizes = random_instance(seed)
+            d = multi_tier_decision(device, edge, cloud, sizes, 8e6, 50e6,
+                                    k_edge=2.0, k_cloud=1.5)
+            value = multi_tier_objective(
+                d.device_point, d.edge_point, device, edge, cloud, sizes,
+                8e6, 50e6, k_edge=2.0, k_cloud=1.5)
+            assert value == pytest.approx(d.predicted_latency, rel=1e-12)
+
+    @given(seed=st.integers(0, 2**31), b1=st.floats(1e5, 1e8),
+           b2=st.floats(1e5, 1e9), ke=st.floats(1.0, 50.0), kc=st.floats(1.0, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_decision_is_never_beaten_by_any_placement(self, seed, b1, b2, ke, kc):
+        device, edge, cloud, sizes = random_instance(seed, n=8)
+        d = multi_tier_decision(device, edge, cloud, sizes, b1, b2, ke, kc)
+        n = len(device)
+        best = min(
+            multi_tier_objective(p, q, device, edge, cloud, sizes,
+                                 b1, b2, k_edge=ke, k_cloud=kc)
+            for p in range(n + 1) for q in range(p, n + 1))
+        assert d.predicted_latency == pytest.approx(best, rel=1e-9)
+
+    def test_fully_local_placement(self):
+        device, edge, cloud, sizes = random_instance(3)
+        n = len(device)
+        assert multi_tier_objective(n, n, device, edge, cloud, sizes,
+                                    8e6, 50e6) == pytest.approx(sum(device))
+
+    def test_validation(self):
+        device, edge, cloud, sizes = random_instance(3)
+        n = len(device)
+        with pytest.raises(ValueError):
+            multi_tier_objective(2, 1, device, edge, cloud, sizes, 8e6, 50e6)
+        with pytest.raises(ValueError):
+            multi_tier_objective(0, n + 1, device, edge, cloud, sizes, 8e6, 50e6)

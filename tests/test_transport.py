@@ -188,3 +188,125 @@ class TestFrames:
             assert got_payload == payload
 
         asyncio.run(main())
+
+
+class TestMidConnectionResets:
+    """Satellite: resets mid-request never hang either endpoint.
+
+    A truncated frame or a dropped socket during a streamed upload must
+    leave the server serving subsequent clients, and the client must
+    surface a failed :class:`~repro.network.channel.TransferResult`
+    through :class:`TransportFailure` instead of blocking forever.
+    """
+
+    def _server_survives(self, sabotage, local_reference):
+        """Run ``sabotage`` against a live server, then serve a clean client."""
+        graph, reference, boundary = local_reference
+
+        async def main():
+            server = TransportServer(MODEL, seed=SEED)
+            host, port = await server.start()
+            try:
+                await sabotage(host, port)
+                # The wounded connection is gone; a fresh client still works.
+                client = await TransportClient.connect(host, port)
+                try:
+                    out = await client.offload(POINT, boundary)
+                finally:
+                    await client.shutdown_server()
+                    await client.close()
+                return out
+            finally:
+                await server.wait_closed()
+
+        out = asyncio.run(main())
+        assert out.result.tobytes() == np.ascontiguousarray(reference).tobytes()
+
+    def test_truncated_frame_then_next_client_served(self, local_reference):
+        import struct
+
+        async def sabotage(host, port):
+            _reader, writer = await asyncio.open_connection(host, port)
+            # Declare a 100-byte header but deliver 5 bytes, then vanish.
+            writer.write(struct.pack("!II", 100, 0) + b"trunc")
+            await writer.drain()
+            writer.close()
+
+        self._server_survives(sabotage, local_reference)
+
+    def test_dropped_socket_mid_stream_then_next_client_served(
+            self, local_reference):
+        _graph, _reference, boundary = local_reference
+
+        from repro.runtime.transport import _tensor_meta
+
+        async def sabotage(host, port):
+            reader, writer = await asyncio.open_connection(host, port)
+            name = next(iter(boundary))
+            enc = TensorCodec("fp32").encode(boundary[name])
+            await send_frame(writer, {
+                "op": "begin", "request_id": 1, "point": POINT,
+                "tensors": [_tensor_meta(name, enc)],
+            })
+            # One chunk of the stream, then the socket dies mid-upload.
+            await send_frame(writer, {"op": "chunk", "request_id": 1},
+                             enc.payload[: max(len(enc.payload) // 2, 1)])
+            writer.close()
+
+        self._server_survives(sabotage, local_reference)
+
+    def test_client_raises_transport_failure_on_reset(self, local_reference):
+        """A server that hangs up mid-request surfaces a failed result."""
+        from repro.runtime.transport import TransportFailure
+
+        _graph, _reference, boundary = local_reference
+
+        async def main():
+            async def slam(reader, writer):
+                await reader.read(64)   # swallow a little, then hang up
+                writer.close()
+
+            server = await asyncio.start_server(slam, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await TransportClient.connect(host, port)
+            try:
+                with pytest.raises(TransportFailure) as err:
+                    await client.offload(POINT, boundary, timeout_s=5.0)
+                return err.value
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        failure = asyncio.run(main())
+        assert failure.result.delivered is False
+        assert failure.result.nbytes > 0
+        assert failure.result.elapsed_s < 5.0
+
+    def test_client_times_out_on_silent_server(self, local_reference):
+        """A reply that never comes raises at ``timeout_s``, never hangs."""
+        from repro.runtime.transport import TransportFailure
+
+        _graph, _reference, boundary = local_reference
+
+        async def main():
+            async def black_hole(reader, writer):
+                while await reader.read(1 << 16):
+                    pass            # consume everything, answer nothing
+
+            server = await asyncio.start_server(black_hole, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            client = await TransportClient.connect(host, port)
+            try:
+                with pytest.raises(TransportFailure) as err:
+                    await client.offload(POINT, boundary, timeout_s=0.2)
+                return err.value
+            finally:
+                await client.close()
+                server.close()
+                await server.wait_closed()
+
+        failure = asyncio.run(main())
+        assert failure.result.delivered is False
+        assert failure.result.timed_out is True
+        assert failure.result.elapsed_s == pytest.approx(0.2)

@@ -37,6 +37,12 @@ unconditionally.  ``chain_only`` and ``branchy_serial`` cells are
 informational (the former is gated by the parallel_chains report, the
 latter carries PR 4's accepted chain-compile overhead).
 
+``BENCH_fleet.json`` reports gate on the candidate alone: the 4-server
+fleet must complete every request (availability 1.0) while server 0
+crashes mid-run, its p95 must beat the saturated 1-server fleet's, and
+the degenerate 1-server gateway must have stayed record-identical to the
+direct client-server path.
+
 ``BENCH_streaming.json`` reports gate on the candidate alone (the numbers
 come from the declared cost model, so host speed cancels entirely):
 streamed lossless uploads must beat the monolithic fp32 upload by at
@@ -118,6 +124,39 @@ def compare_resilience(baseline: dict, candidate: dict,
     only = sorted(set(base) ^ set(cand))
     if only:
         print(f"(not compared, present in one report only: {', '.join(only)})")
+    return regressions
+
+
+def compare_fleet(baseline: dict, candidate: dict,
+                  threshold: float) -> list[str]:
+    """Gate the sharded-fleet report on the candidate's own numbers.
+
+    Three hard gates, all host-speed-free: the 4-server fleet must ride
+    through the mid-run crash at availability 1.0, its p95 must beat the
+    1-server fleet's p95 at the same saturation, and the degenerate
+    1-server gateway must have stayed record-identical to the direct
+    path.  The baseline is printed for side-by-side context only.
+    """
+    regressions: list[str] = []
+    b4, c4 = baseline["fleet4_availability"], candidate["fleet4_availability"]
+    bp1, cp1 = baseline["fleet1_p95_ms"], candidate["fleet1_p95_ms"]
+    bp4, cp4 = baseline["fleet4_p95_ms"], candidate["fleet4_p95_ms"]
+    print(f"fleet4 availability {b4:.3f} -> {c4:.3f}")
+    print(f"fleet1 p95 {bp1:.1f} -> {cp1:.1f} ms")
+    print(f"fleet4 p95 {bp4:.1f} -> {cp4:.1f} ms")
+    print(f"degenerate identical: {baseline['degenerate_identical']} -> "
+          f"{candidate['degenerate_identical']}")
+    if c4 < 1.0:
+        regressions.append(
+            f"fleet4 availability {c4:.4f} < 1.0 "
+            "(the 4-server fleet dropped requests during the crash)")
+    if cp4 >= cp1:
+        regressions.append(
+            f"fleet4 p95 {cp4:.1f} ms >= fleet1 p95 {cp1:.1f} ms "
+            "(sharding bought no tail latency at saturation)")
+    if not candidate["degenerate_identical"]:
+        regressions.append(
+            "degenerate 1-server gateway diverged from the direct path")
     return regressions
 
 
@@ -333,7 +372,7 @@ def main(argv=None) -> int:
     baseline = load(args.baseline)
     candidate = load(args.candidate)
     for kind in ("resilience", "parallel_chains", "parallel_samples",
-                 "streaming"):
+                 "streaming", "fleet"):
         if (baseline.get("benchmark") == kind) != (candidate.get("benchmark") == kind):
             raise SystemExit(f"cannot compare a {kind} report against "
                              "a different benchmark type")
@@ -346,6 +385,8 @@ def main(argv=None) -> int:
                                                args.threshold)
     elif baseline.get("benchmark") == "streaming":
         regressions = compare_streaming(baseline, candidate, args.threshold)
+    elif baseline.get("benchmark") == "fleet":
+        regressions = compare_fleet(baseline, candidate, args.threshold)
     else:
         regressions = compare(baseline, candidate,
                               args.threshold, metric=args.metric)
