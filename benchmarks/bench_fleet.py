@@ -17,6 +17,14 @@ the middle of the horizon, three arms:
   spreads across three healthy GPUs: availability 1.0 *and* a lower p95
   than the single-server fleet.
 
+A heterogeneous cell pits a fast+near server against a slow+far one
+(4x slower GPU, +30 ms link, half the uplink) under the same client
+load, twice: ``hetero_aware`` gives the gateway per-server
+``ServerProfile`` beliefs plus learned link penalties, ``hetero_blind``
+routes with neither — so the aware arm anticipates the hardware gap
+while the blind arm discovers it one mis-routed request at a time.  The
+gate asserts the aware arm's p95 strictly beats the blind arm's.
+
 The report also re-checks the degenerate identity (1-server gateway with
 probes disabled == direct path, record for record) so the gate catches
 any drift in the routing layer's zero-cost guarantee.
@@ -132,6 +140,78 @@ def run_fleet(engine, seed: int, duration_s: float, num_servers: int) -> dict:
     return summary
 
 
+#: Heterogeneous cell: server 1's true hardware/link handicap vs server 0.
+HETERO_GPU_SLOWDOWN = 4.0
+HETERO_EXTRA_LATENCY_S = 0.03
+HETERO_FAR_BANDWIDTH_BPS = 25e6
+
+
+def run_hetero(engine, edge_predictor, seed: int, duration_s: float,
+               aware: bool) -> dict:
+    """Fast+near vs slow+far, with and without per-server beliefs.
+
+    The *truth* is identical in both arms: server 1 runs a GPU with every
+    rate divided by ``HETERO_GPU_SLOWDOWN``, sits ``HETERO_EXTRA_LATENCY_S``
+    farther away, and has half the uplink.  Only the gateway's *belief*
+    differs: the aware arm carries ``ServerProfile``s (scaled predictor,
+    bandwidth prior, link-position prior) and learns link penalties from
+    probe decomposition; the blind arm routes on the engine's shared
+    predictor with single-upload probes.
+    """
+    from repro.core.engine import ServerProfile
+    from repro.hardware.gpu_model import GpuModel, GpuParams
+    from repro.network.channel import NetworkParams
+    from repro.network.traces import ConstantTrace
+    from repro.profiling.predictor import ScaledPredictor
+    from repro.runtime.gateway import GatewayConfig, GatewayFleetSystem
+    from repro.runtime.resilience import ResilienceConfig
+    from repro.runtime.supervisor import SupervisorConfig
+    from repro.runtime.system import SystemConfig
+
+    s = HETERO_GPU_SLOWDOWN
+    base = GpuParams()
+    slow_gpu = GpuModel(GpuParams(
+        conv_rate=base.conv_rate / s, dwconv_rate=base.dwconv_rate / s,
+        matmul_rate=base.matmul_rate / s, mem_bandwidth=base.mem_bandwidth / s))
+    profiles = None
+    if aware:
+        profiles = [
+            ServerProfile(),
+            ServerProfile(
+                edge_predictor=ScaledPredictor(edge_predictor, s),
+                bandwidth_bps=HETERO_FAR_BANDWIDTH_BPS,
+                extra_latency_s=HETERO_EXTRA_LATENCY_S),
+        ]
+    config = SystemConfig(
+        seed=seed,
+        think_time_s=THINK_TIME_S,
+        resilience=ResilienceConfig(max_retries=2),
+    )
+    system = GatewayFleetSystem(
+        engine, CLIENTS, num_servers=2,
+        bandwidth_trace=ConstantTrace(BANDWIDTH_BPS),
+        config=config,
+        gateway_config=GatewayConfig(probes=SupervisorConfig(
+            probe_period_s=0.5, dead_after_misses=2, learn_links=aware)),
+        gpu_models=[None, slow_gpu],
+        network_params=[
+            NetworkParams(),
+            NetworkParams(base_latency_s=NetworkParams().base_latency_s
+                          + HETERO_EXTRA_LATENCY_S)],
+        bandwidth_traces=[ConstantTrace(BANDWIDTH_BPS),
+                          ConstantTrace(HETERO_FAR_BANDWIDTH_BPS)],
+        profiles=profiles,
+    )
+    result = system.run(duration_s)
+    summary = _summarise(result, duration_s)
+    summary["servers"] = _breakdown(result)
+    summary["routed_counts"] = dict(system.gateway.routed_counts)
+    summary["learned_link_latency_s"] = {
+        sid: round(system.supervisor.latency_for(sid), 5)
+        for sid in system.supervisor.health}
+    return summary
+
+
 def check_degenerate_identity(engine, seed: int) -> bool:
     """1-server gateway, probes off: records must equal the direct path."""
     from repro.runtime.gateway import GatewayConfig, GatewayFleetSystem
@@ -167,6 +247,10 @@ def main(argv=None) -> int:
         "naive_direct": run_naive(engine, args.seed, args.duration),
         "fleet1": run_fleet(engine, args.seed, args.duration, num_servers=1),
         "fleet4": run_fleet(engine, args.seed, args.duration, num_servers=4),
+        "hetero_blind": run_hetero(engine, report_prof.edge_predictor,
+                                   args.seed, args.duration, aware=False),
+        "hetero_aware": run_hetero(engine, report_prof.edge_predictor,
+                                   args.seed, args.duration, aware=True),
     }
     degenerate_identical = check_degenerate_identity(engine, args.seed)
 
@@ -197,13 +281,19 @@ def main(argv=None) -> int:
         "fleet1_p95_ms": arms["fleet1"]["p95_ms"],
         "fleet4_p95_ms": arms["fleet4"]["p95_ms"],
         "naive_availability": arms["naive_direct"]["availability"],
+        # Heterogeneous gate: belief-aware routing must beat profile-blind
+        # routing on tail latency against the same fast+near / slow+far truth.
+        "hetero_aware_p95_ms": arms["hetero_aware"]["p95_ms"],
+        "hetero_blind_p95_ms": arms["hetero_blind"]["p95_ms"],
         "degenerate_identical": degenerate_identical,
         "results": [{"arm": name, **row} for name, row in arms.items()],
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nfleet4 avail {report['fleet4_availability']:.3f}, "
           f"p95 {report['fleet4_p95_ms']:.1f} ms vs fleet1 "
-          f"{report['fleet1_p95_ms']:.1f} ms -> {args.output}")
+          f"{report['fleet1_p95_ms']:.1f} ms; hetero aware p95 "
+          f"{report['hetero_aware_p95_ms']:.1f} ms vs blind "
+          f"{report['hetero_blind_p95_ms']:.1f} ms -> {args.output}")
     return 0
 
 

@@ -14,12 +14,24 @@ GPU carries everyone, so most requests retreat to local inference and
 the tail stretches.  The four-server fleet absorbs the whole offered
 load on the offload path: availability 1.0 *and* a far lower p95.
 
+A third, heterogeneous arm mixes hardware: server 0 is fast and near,
+server 1 runs a 4x slower GPU 30 ms farther away.  Per-server
+``ServerProfile``s tell the router what each server *is* (a scaled edge
+predictor, a bandwidth prior, a link-position prior), the supervisor
+learns the actual link latencies from its two-size probes, and the
+joint scan sends each request where it will actually finish soonest —
+watch the routed counts concentrate on the fast shard.
+
 Run:  python examples/gateway_fleet.py
 """
 
 from repro import LoADPartEngine, OfflineProfiler, build_model
+from repro.core.engine import ServerProfile
+from repro.hardware.gpu_model import GpuModel, GpuParams
+from repro.network.channel import NetworkParams
 from repro.network.faults import ServerFaultPlan
 from repro.network.traces import ConstantTrace
+from repro.profiling.predictor import ScaledPredictor
 from repro.runtime.gateway import GatewayConfig, GatewayFleetSystem
 from repro.runtime.resilience import ResilienceConfig
 from repro.runtime.supervisor import SupervisorConfig
@@ -28,6 +40,8 @@ from repro.runtime.system import SystemConfig
 CLIENTS = 60
 DURATION_S = 8.0
 CRASH = (2.5, 5.0)          # server 0 dies mid-run, then restarts
+SLOWDOWN = 4.0              # server 1's GPU handicap in the hetero arm
+FAR_LATENCY_S = 0.03        # server 1's extra one-way link latency
 
 
 def run(engine, num_servers: int):
@@ -41,6 +55,35 @@ def run(engine, num_servers: int):
         gateway_config=GatewayConfig(probes=SupervisorConfig(
             probe_period_s=0.5, dead_after_misses=2)),
         server_faults=server_faults,
+    )
+    return system, system.run(DURATION_S)
+
+
+def run_heterogeneous(engine, edge_predictor):
+    """Fast+near vs slow+far, routed by per-server beliefs."""
+    base = GpuParams()
+    slow_gpu = GpuModel(GpuParams(
+        conv_rate=base.conv_rate / SLOWDOWN,
+        dwconv_rate=base.dwconv_rate / SLOWDOWN,
+        matmul_rate=base.matmul_rate / SLOWDOWN,
+        mem_bandwidth=base.mem_bandwidth / SLOWDOWN))
+    profiles = [
+        ServerProfile(),
+        ServerProfile(edge_predictor=ScaledPredictor(edge_predictor, SLOWDOWN),
+                      extra_latency_s=FAR_LATENCY_S),
+    ]
+    system = GatewayFleetSystem(
+        engine, CLIENTS, num_servers=2,
+        bandwidth_trace=ConstantTrace(50e6),
+        config=SystemConfig(seed=7, think_time_s=0.6,
+                            resilience=ResilienceConfig(max_retries=2)),
+        gateway_config=GatewayConfig(probes=SupervisorConfig(
+            probe_period_s=0.5, dead_after_misses=2)),
+        gpu_models=[None, slow_gpu],
+        network_params=[NetworkParams(),
+                        NetworkParams(base_latency_s=NetworkParams().base_latency_s
+                                      + FAR_LATENCY_S)],
+        profiles=profiles,
     )
     return system, system.run(DURATION_S)
 
@@ -74,6 +117,16 @@ def main() -> None:
     print("\nBoth fleets ride through the crash at full availability; the")
     print("4-server fleet also keeps the work on the edge — the supervisor")
     print("routes around the dead shard instead of retreating to local.")
+
+    system, result = run_heterogeneous(engine, report.edge_predictor)
+    describe("heterogeneous fleet (fast+near vs 4x-slow+far)", system, result)
+    learned = {sid: round(system.supervisor.latency_for(sid) * 1e3, 2)
+               for sid in system.supervisor.health}
+    print(f"  routed counts: {dict(system.gateway.routed_counts)}")
+    print(f"  learned link latencies (ms): {learned}")
+    print("\nThe profiles tell the router server 1 is slow and far before a")
+    print("single request lands there; the probe decomposition then learns")
+    print("the real link latencies, keeping bandwidth estimates honest.")
 
 
 if __name__ == "__main__":

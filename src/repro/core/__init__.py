@@ -23,13 +23,20 @@ from repro.core.baselines import (
 )
 from repro.core.blocks import BlockCutReport, block_cut_report, candidate_points
 from repro.core.cache import PartitionCache
-from repro.core.engine import LoADPartEngine
+from repro.core.engine import (
+    FleetDecision,
+    LoADPartEngine,
+    ServerProfile,
+    fleet_brute_force,
+    fleet_objective,
+)
 from repro.core.load_factor import GpuWatchdog, LoadFactorMonitor
 from repro.core.multi_tier import MultiTierDecision, multi_tier_decision
 from repro.core.partition_algorithm import PartitionDecision, partition_decision
 
 __all__ = [
     "BlockCutReport",
+    "FleetDecision",
     "FullOffloadStrategy",
     "GpuWatchdog",
     "LoADPartEngine",
@@ -40,9 +47,12 @@ __all__ = [
     "NeurosurgeonStrategy",
     "PartitionCache",
     "PartitionDecision",
+    "ServerProfile",
     "block_cut_report",
     "candidate_points",
     "dads_min_cut",
+    "fleet_brute_force",
+    "fleet_objective",
     "multi_tier_decision",
     "partition_decision",
 ]

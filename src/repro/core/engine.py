@@ -45,6 +45,34 @@ from repro.profiling.predictor import LatencyPredictor
 
 
 @dataclass(frozen=True)
+class ServerProfile:
+    """Hardware and link description of one edge server in a fleet.
+
+    ``edge_predictor`` is that server's own M_edge bundle (``None`` means
+    the engine's shared predictor — the homogeneous default);
+    ``bandwidth_bps`` is a link-bandwidth *prior* used when no live
+    estimate is available; ``extra_latency_s`` is the server's relative
+    link position (one-way base latency above the nearest server's),
+    likewise a prior that a supervisor's learned estimate overrides.
+
+    A fleet where every profile is ``ServerProfile()`` is bit-identical
+    to passing no profiles at all.
+    """
+
+    edge_predictor: object | None = None
+    bandwidth_bps: float | None = None
+    extra_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.edge_predictor is not None and self.edge_predictor.side != "edge":
+            raise ValueError("a ServerProfile predictor must be the 'edge' side")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps prior must be positive")
+        if not math.isfinite(self.extra_latency_s) or self.extra_latency_s < 0:
+            raise ValueError("extra_latency_s must be non-negative and finite")
+
+
+@dataclass(frozen=True)
 class FleetDecision:
     """Result of one joint ``(partition point, server)`` decision.
 
@@ -123,6 +151,10 @@ class LoADPartEngine:
         self.output_bytes = graph.output_spec.nbytes
         self._prefix = compute_prefix_device(self.device_times)
         self._suffix = compute_suffix_edge(self.edge_times)
+        # Per-profile suffix arrays for heterogeneous fleets, keyed by
+        # predictor identity (the cache holds a strong reference, so ids
+        # cannot be recycled while an entry lives).
+        self._profile_suffix_cache: Dict[int, Tuple[object, np.ndarray]] = {}
         # Lazy streaming caches: per-codec wire-size vectors, per-point
         # cut-tensor metadata and release-schedule breakpoints.
         self._codec_cache: Dict[str, object] = {}
@@ -141,12 +173,17 @@ class LoADPartEngine:
         bandwidth_down: float | None = None,
         offload_only: bool = False,
         extra_latency_s: float = 0.0,
+        profile: ServerProfile | None = None,
     ) -> PartitionDecision:
         """Run Algorithm 1 under the given link/load conditions.
 
         ``extra_latency_s`` is a fixed per-request penalty on every
         offloading candidate (a server's link base latency); the 0.0
-        default reproduces the paper's scan exactly.
+        default reproduces the paper's scan exactly.  ``profile``
+        substitutes that server's own edge predictor for the suffix
+        array (the device prefix never changes — the device is ours);
+        a ``None`` profile or a profile without a predictor uses the
+        engine's shared suffix bit-for-bit.
         """
         return partition_decision(
             self.device_times,
@@ -157,19 +194,75 @@ class LoADPartEngine:
             bandwidth_down=bandwidth_down,
             output_bytes=self.output_bytes,
             prefix=self._prefix,
-            suffix=self._suffix,
+            suffix=self._suffix_for(profile),
             offload_only=offload_only,
             extra_latency_s=extra_latency_s,
         )
 
+    def _suffix_for(self, profile: ServerProfile | None) -> np.ndarray:
+        """Suffix array for one server profile (cached per predictor)."""
+        if profile is None or profile.edge_predictor is None:
+            return self._suffix
+        predictor = profile.edge_predictor
+        key = id(predictor)
+        entry = self._profile_suffix_cache.get(key)
+        if entry is None or entry[0] is not predictor:
+            suffix = compute_suffix_edge(predictor.predict_nodes(self.profiles))
+            entry = (predictor, suffix)
+            self._profile_suffix_cache[key] = entry
+        return entry[1]
+
+    def _resolve_fleet(
+        self,
+        bandwidths_up: Sequence[float | None],
+        ks: Sequence[float],
+        extra_latencies_s: Sequence[float] | None,
+        profiles: Sequence[ServerProfile | None] | None,
+        allowed: Sequence[int] | None,
+    ) -> Tuple[List[int], List[float], List[float], List[ServerProfile | None]]:
+        """Shared argument resolution for the fleet scan.
+
+        Fills ``None`` bandwidth entries from the profile prior and
+        defaults the extra-latency vector from the profiles' link
+        positions.  :func:`fleet_brute_force` calls this too, so the
+        reference implementation cannot diverge on resolution rules.
+        """
+        num = len(bandwidths_up)
+        if len(ks) != num:
+            raise ValueError("bandwidths_up and ks must have the same length")
+        if profiles is None:
+            profiles = [None] * num
+        elif len(profiles) != num:
+            raise ValueError("profiles must match bandwidths_up")
+        if extra_latencies_s is None:
+            extra_latencies_s = [
+                0.0 if p is None else p.extra_latency_s for p in profiles
+            ]
+        elif len(extra_latencies_s) != num:
+            raise ValueError("extra_latencies_s must match bandwidths_up")
+        bandwidths = list(bandwidths_up)
+        for s, (bw, p) in enumerate(zip(bandwidths, profiles)):
+            if bw is None:
+                if p is None or p.bandwidth_bps is None:
+                    raise ValueError(
+                        f"server {s} has no bandwidth estimate and its "
+                        "profile carries no prior"
+                    )
+                bandwidths[s] = p.bandwidth_bps
+        servers = list(range(num)) if allowed is None else sorted(set(allowed))
+        if any(not 0 <= s < num for s in servers):
+            raise ValueError(f"allowed indices must be in [0, {num})")
+        return servers, bandwidths, list(extra_latencies_s), list(profiles)
+
     def decide_fleet(
         self,
-        bandwidths_up: Sequence[float],
+        bandwidths_up: Sequence[float | None],
         ks: Sequence[float],
         extra_latencies_s: Sequence[float] | None = None,
         bandwidth_down: float | None = None,
         allowed: Sequence[int] | None = None,
         offload_only: bool = False,
+        profiles: Sequence[ServerProfile | None] | None = None,
     ) -> FleetDecision:
         """Jointly pick ``(partition point, server)`` across an edge fleet.
 
@@ -184,21 +277,22 @@ class LoADPartEngine:
         candidate vector contains the identical local candidate, so local
         wins only when no server beats it.
 
+        ``profiles`` makes the fleet heterogeneous: server ``s``'s scan
+        uses *its own* edge predictor's suffix array (cached per
+        predictor), its profile's bandwidth prior when
+        ``bandwidths_up[s]`` is ``None``, and its profile's link position
+        when ``extra_latencies_s`` is omitted.  Uniform default profiles
+        reproduce the homogeneous scan bit-for-bit.
+
         ``allowed`` restricts the scan to a subset of server indices (the
         gateway drops dead/saturated servers); an empty ``allowed`` yields
         the pure local decision.  With one allowed server and zero extra
         latency this reduces bit-for-bit to :meth:`decide`.
         """
         num = len(bandwidths_up)
-        if len(ks) != num:
-            raise ValueError("bandwidths_up and ks must have the same length")
-        if extra_latencies_s is None:
-            extra_latencies_s = [0.0] * num
-        elif len(extra_latencies_s) != num:
-            raise ValueError("extra_latencies_s must match bandwidths_up")
-        servers = range(num) if allowed is None else sorted(set(allowed))
-        if any(not 0 <= s < num for s in servers):
-            raise ValueError(f"allowed indices must be in [0, {num})")
+        servers, bandwidths, extras, profiles = self._resolve_fleet(
+            bandwidths_up, ks, extra_latencies_s, profiles, allowed
+        )
 
         decisions: List[PartitionDecision | None] = [None] * num
         best_value = math.inf
@@ -206,11 +300,12 @@ class LoADPartEngine:
         best_point = self.num_nodes
         for s in servers:
             d = self.decide(
-                bandwidths_up[s],
+                bandwidths[s],
                 k=ks[s],
                 bandwidth_down=bandwidth_down,
                 offload_only=offload_only,
-                extra_latency_s=extra_latencies_s[s],
+                extra_latency_s=extras[s],
+                profile=profiles[s],
             )
             decisions[s] = d
             if d.predicted_latency < best_value:
@@ -490,10 +585,19 @@ class LoADPartEngine:
         self._check_point(point)
         return float(self._prefix[point])
 
-    def predicted_server_time(self, point: int, k: float = 1.0) -> float:
-        """Predicted server time of the tail under load factor ``k``."""
+    def predicted_server_time(
+        self, point: int, k: float = 1.0,
+        profile: ServerProfile | None = None,
+    ) -> float:
+        """Predicted server time of the tail under load factor ``k``.
+
+        ``profile`` evaluates the tail under that server's own predictor
+        — a server monitoring its *own* load must compare observations
+        against its own hardware model, or slow silicon masquerades as
+        queueing (see :class:`~repro.runtime.server.EdgeServer`).
+        """
         self._check_point(point)
-        return float(k * self._suffix[point])
+        return float(k * self._suffix_for(profile)[point])
 
     def predicted_upload_time(self, point: int, bandwidth_up: float) -> float:
         self._check_point(point)
@@ -532,3 +636,125 @@ class LoADPartEngine:
     def _check_point(self, point: int) -> None:
         if not 0 <= point <= self.num_nodes:
             raise ValueError(f"partition point {point} out of range [0, {self.num_nodes}]")
+
+
+# -- differential references for the fleet scan ------------------------------
+#
+# ``decide_fleet`` must agree with these two independent implementations:
+# ``fleet_objective`` restates Problem (1) for a single ``(point, server)``
+# pair by direct summation (no prefix/suffix arrays — numerically close,
+# not bit-equal), and ``fleet_brute_force`` enumerates every pair with the
+# scalar mirror of ``partition_decision``'s vector arithmetic (bit-equal).
+
+
+def fleet_objective(
+    engine: LoADPartEngine,
+    point: int,
+    bandwidth_up: float,
+    k: float = 1.0,
+    extra_latency_s: float = 0.0,
+    bandwidth_down: float | None = None,
+    profile: ServerProfile | None = None,
+) -> float:
+    """Problem (1) for one ``(point, server)`` candidate, summed directly.
+
+    Deliberately avoids the engine's precomputed arrays: the device head
+    and server tail are plain Python sums over the predictor outputs, so
+    a bookkeeping bug in the prefix/suffix indexing cannot hide in both
+    implementations at once.  Compare with ``isclose`` — summation order
+    differs from the cumsum by design.
+    """
+    engine._check_point(point)
+    device = sum(float(t) for t in engine.device_times[:point])
+    if profile is not None and profile.edge_predictor is not None:
+        edge_times = profile.edge_predictor.predict_nodes(engine.profiles)
+    else:
+        edge_times = engine.edge_times
+    total = device + k * sum(float(t) for t in edge_times[point:])
+    if point < engine.num_nodes:
+        total += engine.sizes[point] * 8 / bandwidth_up + extra_latency_s
+        if bandwidth_down is not None:
+            total += engine.output_bytes * 8 / bandwidth_down
+    return total
+
+
+def fleet_brute_force(
+    engine: LoADPartEngine,
+    bandwidths_up: Sequence[float | None],
+    ks: Sequence[float],
+    extra_latencies_s: Sequence[float] | None = None,
+    bandwidth_down: float | None = None,
+    allowed: Sequence[int] | None = None,
+    offload_only: bool = False,
+    profiles: Sequence[ServerProfile | None] | None = None,
+) -> FleetDecision:
+    """Exhaustive ``(point, server)`` reference for ``decide_fleet``.
+
+    Enumerates every pair with explicit scalar loops, mirroring the
+    vectorised arithmetic of ``partition_decision`` operation for
+    operation (same IEEE-754 evaluation order), so the result — point,
+    server, predicted latency, and every per-server candidate vector —
+    must match ``decide_fleet`` *bitwise*, not just approximately.
+    Tie-breaks are mirrored too: last point within a server (``<=``
+    forward scan), earliest server across servers (strict ``<``).
+    """
+    num = len(bandwidths_up)
+    servers, bandwidths, extras, profiles = engine._resolve_fleet(
+        bandwidths_up, ks, extra_latencies_s, profiles, allowed
+    )
+    n = engine.num_nodes
+    prefix = engine._prefix
+    sizes = engine.sizes
+    download = 0.0
+    if bandwidth_down is not None:
+        if bandwidth_down <= 0:
+            raise ValueError("download bandwidth must be positive")
+        download = engine.output_bytes * 8 / bandwidth_down
+
+    decisions: List[PartitionDecision | None] = [None] * num
+    best_value = math.inf
+    best_server: int | None = None
+    best_point = n
+    for s in servers:
+        k = ks[s]
+        if k < 1.0:
+            raise ValueError(f"the influential factor k must be >= 1, got {k}")
+        bw = bandwidths[s]
+        if bw <= 0:
+            raise ValueError("upload bandwidth must be positive")
+        extra = extras[s]
+        if extra < 0:
+            raise ValueError("extra_latency_s must be non-negative")
+        suffix = engine._suffix_for(profiles[s])
+        vals = np.empty(n + 1, dtype=np.float64)
+        scan_len = n if offload_only else n + 1
+        sp = 0
+        sv = math.inf
+        for p in range(n + 1):
+            c = prefix[p] + k * suffix[p]
+            if p < n:
+                c = c + (sizes[p] * 8 / bw + download + extra)
+            vals[p] = c
+            if p < scan_len and c <= sv:
+                sp, sv = p, c
+        d = PartitionDecision(
+            point=sp, predicted_latency=float(vals[sp]), candidates=vals
+        )
+        decisions[s] = d
+        if d.predicted_latency < best_value:
+            best_value = d.predicted_latency
+            best_server = s
+            best_point = d.point
+    if best_server is None or best_point == n:
+        return FleetDecision(
+            point=n,
+            server=None,
+            predicted_latency=float(prefix[n]),
+            decisions=tuple(decisions),
+        )
+    return FleetDecision(
+        point=best_point,
+        server=best_server,
+        predicted_latency=best_value,
+        decisions=tuple(decisions),
+    )

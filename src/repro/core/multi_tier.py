@@ -66,8 +66,18 @@ def multi_tier_decision(
     bandwidth_edge_cloud: float,
     k_edge: float = 1.0,
     k_cloud: float = 1.0,
+    extra_latency_edge_s: float = 0.0,
+    extra_latency_cloud_s: float = 0.0,
 ) -> MultiTierDecision:
-    """O(n) optimal two-cut placement across device/edge/cloud."""
+    """O(n) optimal two-cut placement across device/edge/cloud.
+
+    ``extra_latency_edge_s`` / ``extra_latency_cloud_s`` are fixed link
+    base latencies charged once per hop actually taken (the heterogeneous
+    fleet's per-server link position, generalised to the tier chain): the
+    first on every placement that leaves the device, the second on every
+    placement that reaches the cloud.  Fully-local placement pays
+    neither; the 0.0 defaults reproduce the original scan exactly.
+    """
     n = len(device_times)
     if len(edge_times) != n or len(cloud_times) != n:
         raise ValueError("per-tier time arrays must share length")
@@ -77,6 +87,8 @@ def multi_tier_decision(
         raise ValueError("bandwidths must be positive")
     if k_edge < 1.0 or k_cloud < 1.0:
         raise ValueError("load factors must be >= 1")
+    if extra_latency_edge_s < 0 or extra_latency_cloud_s < 0:
+        raise ValueError("extra latencies must be non-negative")
 
     f = np.asarray(device_times, dtype=np.float64)
     g_e = np.asarray(edge_times, dtype=np.float64)
@@ -89,8 +101,10 @@ def multi_tier_decision(
     prefix_ge = np.concatenate(([0.0], np.cumsum(g_e)))    # G_e[q]
     suffix_gc = np.concatenate((np.cumsum(g_c[::-1])[::-1], [0.0]))  # C[q]
 
-    up1 = s * 8 / bandwidth_device_edge
-    up2 = s * 8 / bandwidth_edge_cloud
+    # The link base latencies fold straight into the hop cost vectors;
+    # the fully-local overwrite below keeps placement (n, n) clean.
+    up1 = s * 8 / bandwidth_device_edge + extra_latency_edge_s
+    up2 = s * 8 / bandwidth_edge_cloud + extra_latency_cloud_s
 
     # h(p): the q-independent part of the objective.
     h = prefix_f + up1 - k_edge * prefix_ge
@@ -144,6 +158,8 @@ def multi_tier_objective(
     bandwidth_edge_cloud: float,
     k_edge: float = 1.0,
     k_cloud: float = 1.0,
+    extra_latency_edge_s: float = 0.0,
+    extra_latency_cloud_s: float = 0.0,
 ) -> float:
     """Evaluate ``t(p, q)`` for one explicit two-cut placement.
 
@@ -162,10 +178,10 @@ def multi_tier_objective(
     value = float(f[:p].sum())
     if p == n and q == n:
         return value  # fully local: no hop at all
-    value += s[p] * 8 / bandwidth_device_edge
+    value += s[p] * 8 / bandwidth_device_edge + extra_latency_edge_s
     value += k_edge * float(g_e[p:q].sum())
     if q < n:
-        value += s[q] * 8 / bandwidth_edge_cloud
+        value += s[q] * 8 / bandwidth_edge_cloud + extra_latency_cloud_s
         value += k_cloud * float(g_c[q:].sum())
     return value
 
@@ -179,6 +195,8 @@ def multi_tier_brute_force(
     bandwidth_edge_cloud: float,
     k_edge: float = 1.0,
     k_cloud: float = 1.0,
+    extra_latency_edge_s: float = 0.0,
+    extra_latency_cloud_s: float = 0.0,
 ) -> MultiTierDecision:
     """O(n^2) reference implementation (tests and sanity checks)."""
     n = len(device_times)
@@ -189,6 +207,8 @@ def multi_tier_brute_force(
                 p, q, device_times, edge_times, cloud_times, sizes,
                 bandwidth_device_edge, bandwidth_edge_cloud,
                 k_edge=k_edge, k_cloud=k_cloud,
+                extra_latency_edge_s=extra_latency_edge_s,
+                extra_latency_cloud_s=extra_latency_cloud_s,
             )
             if best is None or value < best - 1e-15:
                 best, best_pq = value, (p, q)

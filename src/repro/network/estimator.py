@@ -145,3 +145,109 @@ class BandwidthEstimator:
         if not self._window:
             return 0.0
         return sum(1 for s in self._window if s.failure) / len(self._window)
+
+
+class LinkEstimator:
+    """Online estimator of one server link's base latency (EWMA, robust).
+
+    The fleet supervisor decomposes each two-size probe into a bandwidth
+    sample and a *link latency* sample (see
+    :meth:`~repro.runtime.supervisor.FleetSupervisor.probe`); this class
+    turns the noisy latency samples into a stable per-server estimate —
+    the learned replacement for a configured ``extra_latencies_s`` entry.
+
+    Mechanics: an EWMA of the samples plus an EWMA of their absolute
+    deviation.  Once ``warmup`` samples are in, a sample further than
+    ``outlier_factor`` deviations from the mean is rejected (one
+    congestion spike must not smear a stable link's estimate) — but
+    ``max_consecutive_rejects`` rejections in a row are read as a level
+    shift (the path really changed: re-routing, new middlebox) and the
+    next sample re-seeds the estimate instead of being discarded.
+
+    ``estimate()`` returns the configured ``prior_s`` until the first
+    accepted sample, which is exactly the config-as-prior fallback when
+    probing is disabled.  Link latency is a property of the *path*, not
+    the server process, so the supervisor deliberately does **not**
+    reset this on a server restart.
+    """
+
+    def __init__(
+        self,
+        prior_s: float = 0.0,
+        alpha: float = 0.25,
+        outlier_factor: float = 4.0,
+        warmup: int = 4,
+        max_consecutive_rejects: int = 3,
+    ) -> None:
+        if prior_s < 0 or not math.isfinite(prior_s):
+            raise ValueError("prior_s must be non-negative and finite")
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        if outlier_factor <= 0:
+            raise ValueError("outlier_factor must be positive")
+        if warmup < 1 or max_consecutive_rejects < 1:
+            raise ValueError("warmup and max_consecutive_rejects must be >= 1")
+        self._prior = prior_s
+        self._alpha = alpha
+        self._outlier_factor = outlier_factor
+        self._warmup = warmup
+        self._max_rejects = max_consecutive_rejects
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget everything and fall back to the prior."""
+        self._mean = self._prior
+        self._dev = 0.0
+        self._accepted = 0
+        self._rejected = 0
+        self._consecutive_rejects = 0
+
+    def add(self, latency_s: float) -> bool:
+        """Feed one latency sample; returns True if it was accepted."""
+        if not math.isfinite(latency_s) or latency_s < 0:
+            return False
+        if self._accepted >= self._warmup and self._is_outlier(latency_s):
+            self._consecutive_rejects += 1
+            if self._consecutive_rejects <= self._max_rejects:
+                self._rejected += 1
+                return False
+            # Level shift: this is the (max+1)-th straight "outlier" —
+            # the estimate is what's wrong.  Re-seed on the new regime.
+            self._mean = latency_s
+            self._dev = 0.0
+            self._accepted = 1
+            self._consecutive_rejects = 0
+            return True
+        self._consecutive_rejects = 0
+        if self._accepted == 0:
+            self._mean = latency_s
+            self._dev = 0.0
+        else:
+            delta = latency_s - self._mean
+            self._mean += self._alpha * delta
+            self._dev += self._alpha * (abs(delta) - self._dev)
+        self._accepted += 1
+        return True
+
+    def _is_outlier(self, latency_s: float) -> bool:
+        # The deviation floor keeps a near-noiseless link from locking
+        # out every future sample once its EWMA deviation collapses.
+        floor = 0.05 * self._mean + 1e-6
+        return abs(latency_s - self._mean) > self._outlier_factor * max(
+            self._dev, floor)
+
+    def estimate(self) -> float:
+        """Current link-latency estimate in seconds (prior until a sample)."""
+        return self._mean if self._accepted else self._prior
+
+    @property
+    def prior_s(self) -> float:
+        return self._prior
+
+    @property
+    def sample_count(self) -> int:
+        return self._accepted
+
+    @property
+    def rejected_count(self) -> int:
+        return self._rejected

@@ -10,6 +10,7 @@ trained models, as in Fig. 3.
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, Iterable, Sequence
 
 import numpy as np
@@ -77,6 +78,10 @@ class LatencyPredictor:
 
     # -- construction helpers ------------------------------------------------------
 
+    def scaled(self, scale: float) -> "ScaledPredictor":
+        """This bundle's predictions uniformly scaled by ``scale``."""
+        return ScaledPredictor(self, scale)
+
     @classmethod
     def fit(
         cls,
@@ -103,3 +108,35 @@ class LatencyPredictor:
             )
             models[category] = NNLSModel(names).fit(X, y)
         return cls(side, models)
+
+
+class ScaledPredictor:
+    """A predictor proxy whose every prediction is scaled by a constant.
+
+    Models a machine that is uniformly ``scale``x slower (``scale > 1``)
+    or faster (``scale < 1``) than the hardware the wrapped bundle was
+    profiled on — the cheapest honest way to describe a heterogeneous
+    fleet whose servers share an architecture but not a clock.  A
+    :class:`~repro.core.engine.ServerProfile` carries one of these as
+    its per-server edge model; ``scale == 1`` predicts bit-identically
+    to the wrapped bundle (``predict_nodes`` multiplies by exactly 1.0).
+    """
+
+    def __init__(self, base, scale: float) -> None:
+        if not math.isfinite(scale) or scale <= 0:
+            raise ValueError(f"scale must be positive and finite, got {scale}")
+        self.base = base
+        self.scale = float(scale)
+
+    @property
+    def side(self) -> str:
+        return self.base.side
+
+    def predict(self, profile: NodeProfile) -> float:
+        return self.base.predict(profile) * self.scale
+
+    def predict_nodes(self, profiles: Sequence[NodeProfile]) -> np.ndarray:
+        return self.base.predict_nodes(profiles) * self.scale
+
+    def predict_total(self, profiles: Iterable[NodeProfile]) -> float:
+        return float(self.base.predict_total(profiles) * self.scale)

@@ -44,7 +44,7 @@ from typing import Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.engine import FleetDecision, LoADPartEngine
+from repro.core.engine import FleetDecision, LoADPartEngine, ServerProfile
 from repro.core.partition_algorithm import PartitionDecision
 from repro.network.channel import Channel, NetworkParams
 from repro.network.faults import FaultyChannel, ServerFaultPlan
@@ -142,14 +142,20 @@ class EdgeGateway:
         channels: Sequence[Channel],
         config: GatewayConfig | None = None,
         supervisor_seed: int = 0,
+        profiles: Sequence[ServerProfile | None] | None = None,
     ) -> None:
         if not servers:
             raise ValueError("need at least one server")
         if len(servers) != len(channels):
             raise ValueError("one channel per server required")
+        if profiles is not None and len(profiles) != len(servers):
+            raise ValueError("profiles must name one entry per server")
         self.engine = engine
         self.config = config or GatewayConfig()
         self.channels = list(channels)
+        #: Per-server :class:`~repro.core.engine.ServerProfile` sequence
+        #: (``None`` = homogeneous fleet, today's behaviour bit-for-bit).
+        self.profiles = list(profiles) if profiles is not None else None
         self.supervisor = FleetSupervisor(
             servers, channels,
             config=self.config.probes or SupervisorConfig(),
@@ -159,6 +165,8 @@ class EdgeGateway:
         self.ports = [GatewayPort(s, self.supervisor) for s in servers]
         self._ids = [s.server_id for s in servers]
         # Relative link penalties: nearest server is the zero reference.
+        # This is the *config prior*; with probing + link learning the
+        # supervisor's learned latencies replace it (see :meth:`route`).
         bases = [c.params.base_latency_s for c in channels]
         floor = min(bases)
         self._extra_latency = [b - floor for b in bases]
@@ -166,10 +174,29 @@ class EdgeGateway:
             sid: deque() for sid in self._ids}
         #: Rotation counter for the equal-cost tie-break (see :meth:`route`).
         self._rotation = 0
+        #: Smooth-WRR credit per server index, for load-weighted rotation.
+        self._credits: Dict[int, float] = {}
         self.routed_counts: Dict[int, int] = {sid: 0 for sid in self._ids}
         #: Requests resolved locally because every live server was saturated.
         self.rejected_count = 0
         self.last_decision: FleetDecision | None = None
+
+    def _extra_latencies(self) -> List[float]:
+        """Per-server relative link penalties for the fleet scan.
+
+        With probing and link learning on, each server's penalty is the
+        supervisor's learned base latency relative to the fleet's learned
+        minimum; before any probe lands the learned estimate *is* the
+        channel prior, so this degrades gracefully to the config values.
+        With probes disabled (or ``learn_links=False``) the config prior
+        is used directly — no supervisor state is read at all, keeping
+        the degenerate path untouched.
+        """
+        if not (self.probing_enabled and self.supervisor.config.learn_links):
+            return self._extra_latency
+        learned = [self.supervisor.latency_for(sid) for sid in self._ids]
+        floor = min(learned)
+        return [lat - floor for lat in learned]
 
     def _index(self, server_id: int) -> int:
         return self._ids.index(server_id)
@@ -182,6 +209,43 @@ class EdgeGateway:
         while window and window[0] < now_s - self.config.admission_window_s:
             window.popleft()
         return len(window) < limit
+
+    def _bandwidth_prior(self, index: int, client_fallback: float) -> float:
+        """Bandwidth fallback for one server with no supervisor samples.
+
+        A profile's ``bandwidth_bps`` prior beats the requesting client's
+        own estimate (which was measured against whichever server that
+        client last talked to); without a profile, the client estimate is
+        all there is — today's behaviour.
+        """
+        if self.profiles is not None:
+            profile = self.profiles[index]
+            if profile is not None and profile.bandwidth_bps is not None:
+                return profile.bandwidth_bps
+        return client_fallback
+
+    def _pick_tied(self, ties: List[int], ks: Sequence[float]) -> int:
+        """Pick one server index from the near-tie band.
+
+        Equal weights (every tied server reports the same ``k_s`` — the
+        homogeneous fleet between probe refreshes, or probing disabled)
+        take the original round-robin path unchanged.  Otherwise servers
+        rotate by predicted residual capacity ``1/k_s`` via smooth
+        weighted round-robin: each tied server earns its weight in
+        credits, the richest (ties → lowest index) pays the round's total
+        and wins — over time server ``i`` receives a ``w_i / Σw`` share
+        of the near-tie traffic instead of a flat ``1/len(ties)``.
+        """
+        weights = [1.0 / max(float(ks[i]), 1.0) for i in ties]
+        if len(set(weights)) <= 1:
+            index = ties[self._rotation % len(ties)]
+            self._rotation += 1
+            return index
+        for i, w in zip(ties, weights):
+            self._credits[i] = self._credits.get(i, 0.0) + w
+        index = max(ties, key=lambda i: (self._credits[i], -i))
+        self._credits[index] -= sum(weights)
+        return index
 
     def _local_decision(self, bandwidth_up: float, k: float) -> PartitionDecision:
         d = self.engine.decide(bandwidth_up, k=k)
@@ -224,13 +288,15 @@ class EdgeGateway:
             self.last_decision = None
             return None, self._local_decision(bandwidth_fallback, k_fallback)
 
-        bandwidths = [sup.bandwidth_for(sid, bandwidth_fallback)
-                      for sid in self._ids]
+        bandwidths = [
+            sup.bandwidth_for(sid, self._bandwidth_prior(i, bandwidth_fallback))
+            for i, sid in enumerate(self._ids)]
         ks = [sup.k_for(sid, now_s, k_fallback) for sid in self._ids]
         decision = self.engine.decide_fleet(
             bandwidths, ks,
-            extra_latencies_s=self._extra_latency,
+            extra_latencies_s=self._extra_latencies(),
             allowed=[self._index(sid) for sid in admitted],
+            profiles=self.profiles,
         )
         self.last_decision = decision
         if decision.server is None:
@@ -242,7 +308,7 @@ class EdgeGateway:
                 point=self.engine.num_nodes,
                 predicted_latency=decision.predicted_latency,
                 candidates=best.candidates)
-        # Round-robin among near-tied servers (see
+        # Rotate among near-tied servers (see
         # ``GatewayConfig.rebalance_tolerance``): a strictly-better
         # server (beyond the band) still wins outright, and a 1-server
         # fleet has no siblings to rotate to — the degenerate identity
@@ -251,8 +317,7 @@ class EdgeGateway:
         ties = [i for i, d in enumerate(decision.decisions)
                 if d is not None and d.point < self.engine.num_nodes
                 and d.predicted_latency <= band]
-        index = ties[self._rotation % len(ties)]
-        self._rotation += 1
+        index = self._pick_tied(ties, ks)
         sid = self._ids[index]
         if self.config.admission_limit is not None:
             self._admitted[sid].append(now_s)
@@ -342,6 +407,9 @@ class GatewayFleetSystem:
         server_faults: Sequence[ServerFaultPlan | None] | None = None,
         network_params: Sequence[NetworkParams] | None = None,
         tracker_window_s: float = 3.0,
+        profiles: Sequence[ServerProfile | None] | None = None,
+        gpu_models: Sequence[object | None] | None = None,
+        bandwidth_traces: Sequence[BandwidthTrace] | None = None,
     ) -> None:
         if num_clients < 1:
             raise ValueError("need at least one client")
@@ -358,6 +426,12 @@ class GatewayFleetSystem:
             raise ValueError("server_faults must name one plan per server")
         if network_params is not None and len(network_params) != num_servers:
             raise ValueError("network_params must name one entry per server")
+        if profiles is not None and len(profiles) != num_servers:
+            raise ValueError("profiles must name one entry per server")
+        if gpu_models is not None and len(gpu_models) != num_servers:
+            raise ValueError("gpu_models must name one entry per server")
+        if bandwidth_traces is not None and len(bandwidth_traces) != num_servers:
+            raise ValueError("bandwidth_traces must name one entry per server")
         self.engine = engine
         self.num_servers = num_servers
 
@@ -390,20 +464,28 @@ class GatewayFleetSystem:
                 fault_plan=fault_plan,
                 parallelism=self.config.parallelism,
                 server_id=s,
+                # Heterogeneous truth and belief: the GPU model is what
+                # the simulated silicon *does*; the profile is what the
+                # router (and the server's own k monitor) *believes*.
+                gpu_model=(gpu_models[s] if gpu_models is not None else None),
+                profile=(profiles[s] if profiles is not None else None),
             ))
+            server_trace = (bandwidth_traces[s] if bandwidth_traces is not None
+                            else trace)
             params = (network_params[s] if network_params is not None
                       else NetworkParams())
             if self.config.faults is not None:
                 channels.append(FaultyChannel(
-                    trace, self.config.faults.for_server(s), params))
+                    server_trace, self.config.faults.for_server(s), params))
             else:
-                channels.append(Channel(trace, params))
+                channels.append(Channel(server_trace, params))
         self.servers = servers
         self.channels = channels
         self.gateway = EdgeGateway(
             engine, servers, channels,
             config=gateway_config,
             supervisor_seed=self.config.seed + 300,
+            profiles=profiles,
         )
         self.policy = self.config.policy
         if self.config.policy != "loadpart":

@@ -69,6 +69,29 @@ class LoadReply:
 
 
 @dataclass(frozen=True)
+class ProbeReport:
+    """Decomposition of one two-size supervisor health probe.
+
+    The supervisor times a small ping upload and a bulk upload on the
+    same tick; their *difference* isolates the transfer term (the link's
+    base latency cancels), so ``bandwidth_bps`` is latency-corrected and
+    ``latency_s`` is the residual base latency implied by the ping —
+    the raw material of the learned per-server link penalties.
+    ``accepted`` records whether the link estimator kept the latency
+    sample or rejected it as an outlier.
+    """
+
+    server_id: int
+    time_s: float
+    ping_s: float              # elapsed of the small ping upload
+    bulk_s: float              # elapsed of the bulk probe upload
+    bulk_bytes: int
+    latency_s: float           # implied link base latency (>= 0)
+    bandwidth_bps: float       # latency-corrected bandwidth sample
+    accepted: bool
+
+
+@dataclass(frozen=True)
 class InferenceRecord:
     """Everything measured about one end-to-end inference."""
 

@@ -66,10 +66,17 @@ class EdgeServer:
         fault_plan: ServerFaultPlan | None = None,
         parallelism: ParallelConfig | None = None,
         server_id: int = 0,
+        profile=None,
     ) -> None:
         self.engine = engine
         #: Identity of this server inside a sharded fleet (0 when alone).
         self.server_id = server_id
+        #: This server's :class:`~repro.core.engine.ServerProfile` in a
+        #: heterogeneous fleet (``None`` = the engine's shared model).
+        #: Load monitoring divides observed by *this server's* predicted
+        #: tail time — against the shared model, slow silicon would read
+        #: as permanent queueing (k ≈ hardware scale even when idle).
+        self.profile = profile
         self.load_schedule = load_schedule or LoadSchedule([(0.0, IDLE)])
         self.gpu_model = gpu_model or GpuModel()
         self.scheduler = scheduler or GpuScheduler()
@@ -278,7 +285,7 @@ class EdgeServer:
         else:
             actual = self.scheduler.execute(kernel_times, level, self._rng)
 
-        predicted = self.engine.predicted_server_time(point)
+        predicted = self.engine.predicted_server_time(point, profile=self.profile)
         if predicted > 0:
             # k tracks compute slowdown, so it is fed GPU occupancy — the
             # exposed (overlap-credited) time would make a loaded server
@@ -341,7 +348,7 @@ class EdgeServer:
             [kt * scale for kt in kernel_times], level, self._rng
         )
 
-        predicted = self.engine.predicted_server_time(point)
+        predicted = self.engine.predicted_server_time(point, profile=self.profile)
         result_bytes = partitioned.tail.result_bytes if not partitioned.tail.is_empty else 0
         replies: List[OffloadReply] = []
         for i, request in enumerate(requests):

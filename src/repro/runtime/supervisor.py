@@ -9,6 +9,11 @@ centralises the profiler instead: one probe loop per *server*, feeding
 
 - a per-server :class:`~repro.network.estimator.BandwidthEstimator`
   (probe successes as samples, failures as upper bounds),
+- a per-server :class:`~repro.network.estimator.LinkEstimator` fed by the
+  two-size probe decomposition (see :meth:`FleetSupervisor.probe`): the
+  learned link base latency that replaces a configured
+  ``extra_latencies_s`` entry, with the channel's declared base latency
+  as the prior,
 - a per-server influential factor ``k_s`` with a freshness timestamp
   (the same §IV load query, now asked on the clients' behalf),
 - a per-server :class:`~repro.runtime.resilience.CircuitBreaker` whose
@@ -38,7 +43,8 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from repro.network.channel import Channel
-from repro.network.estimator import BandwidthEstimator
+from repro.network.estimator import BandwidthEstimator, LinkEstimator
+from repro.runtime.messages import ProbeReport
 from repro.runtime.resilience import CircuitBreaker
 from repro.runtime.server import EdgeServer
 
@@ -78,6 +84,10 @@ class SupervisorConfig:
     breaker_cooldown_s: float = 10.0  # open time before a probe may close it
     k_ttl_s: float = 30.0             # k_s older than this stops steering
     bandwidth_window_s: float = 30.0  # age bound on per-server bw samples
+    learn_links: bool = True          # decompose probes into (latency, bw)
+    ping_bytes: int = 2048            # small-upload size of the probe pair
+    link_alpha: float = 0.25          # EWMA gain of the link estimator
+    link_outlier_factor: float = 4.0  # deviations before a sample is rejected
 
     def __post_init__(self) -> None:
         if self.probe_period_s <= 0 or self.probe_timeout_s <= 0:
@@ -90,6 +100,12 @@ class SupervisorConfig:
             raise ValueError("breaker_cooldown_s must be non-negative")
         if self.k_ttl_s <= 0 or self.bandwidth_window_s <= 0:
             raise ValueError("k_ttl_s and bandwidth_window_s must be positive")
+        if self.ping_bytes < 1:
+            raise ValueError("ping_bytes must be >= 1")
+        if not 0 < self.link_alpha <= 1:
+            raise ValueError("link_alpha must be in (0, 1]")
+        if self.link_outlier_factor <= 0:
+            raise ValueError("link_outlier_factor must be positive")
 
 
 class FleetSupervisor:
@@ -112,7 +128,9 @@ class FleetSupervisor:
         self._rng = np.random.default_rng(seed)
         self.health: Dict[int, ServerHealth] = {}
         self.estimators: Dict[int, BandwidthEstimator] = {}
+        self.links: Dict[int, LinkEstimator] = {}
         self.breakers: Dict[int, CircuitBreaker] = {}
+        self.last_probe: Dict[int, ProbeReport] = {}
         self._by_id: Dict[int, Tuple[EdgeServer, Channel]] = {}
         for server, channel in zip(self.servers, self.channels):
             sid = server.server_id
@@ -122,6 +140,12 @@ class FleetSupervisor:
             self.health[sid] = ServerHealth(server_id=sid)
             self.estimators[sid] = BandwidthEstimator(
                 window_s=self.config.bandwidth_window_s)
+            # The channel's declared base latency is the *prior*; probe
+            # decomposition replaces it with a learned estimate.
+            self.links[sid] = LinkEstimator(
+                prior_s=channel.params.base_latency_s,
+                alpha=self.config.link_alpha,
+                outlier_factor=self.config.link_outlier_factor)
             self.breakers[sid] = CircuitBreaker(
                 self.config.breaker_threshold, self.config.breaker_cooldown_s)
 
@@ -138,26 +162,47 @@ class FleetSupervisor:
     def probe(self, server_id: int, now_s: float) -> bool:
         """One §IV-style health probe against ``server_id``.
 
-        Uploads an adaptive-size probe packet under ``probe_timeout_s``,
-        then asks the load query.  Success refreshes ``k_s`` and the
-        bandwidth window and closes the breaker (after its cooldown);
-        failure records a bandwidth upper bound, counts a miss, and feeds
-        the breaker.  Returns True on success.
+        With ``learn_links`` (the default) the probe is *two* uploads —
+        a fixed small ping plus the adaptive bulk packet — whose elapsed
+        difference isolates the transfer term: the bandwidth sample is
+        ``(bulk_bytes - ping_bytes) * 8 / (bulk_s - ping_s)``, so the
+        link's base latency cancels instead of biasing it low, and the
+        ping's residual ``ping_s - ping_bytes*8/B`` feeds that server's
+        :class:`~repro.network.estimator.LinkEstimator`.  A single timed
+        upload cannot tell a slow link from a thin one — that confusion
+        previously leaked link latency into the bandwidth estimate (and
+        through routing into apparent load).  With ``learn_links=False``
+        the probe is the original single upload.
+
+        Success refreshes ``k_s`` and the estimators and closes the
+        breaker (after its cooldown); failure records a bandwidth upper
+        bound, counts a miss, and feeds the breaker.  Returns True on
+        success.
         """
         health = self.health[server_id]
         self.detect_restart(server_id, now_s)
         server, channel = self._by_id[server_id]
         estimator = self.estimators[server_id]
         breaker = self.breakers[server_id]
+        health.probes_sent += 1
+        ping = None
+        if self.config.learn_links:
+            ping = channel.try_upload(
+                self.config.ping_bytes, now_s, self._rng,
+                timeout_s=self.config.probe_timeout_s)
+            if not ping.delivered:
+                estimator.add_failure(
+                    now_s, self.config.ping_bytes, ping.elapsed_s)
+                return self._probe_missed(health, breaker, now_s)
         probe_bytes = estimator.next_probe_bytes()
         result = channel.try_upload(
             probe_bytes, now_s, self._rng,
             timeout_s=self.config.probe_timeout_s)
         reply = (server.handle_load_query(now_s)
                  if result.delivered else None)
-        health.probes_sent += 1
         if result.delivered and reply is not None:
-            estimator.add_probe(now_s, probe_bytes, result.elapsed_s)
+            self._ingest_timings(server_id, now_s, ping, probe_bytes,
+                                 result.elapsed_s)
             health.k = max(reply.k, 1.0)
             health.k_time_s = now_s
             health.misses = 0
@@ -167,15 +212,45 @@ class FleetSupervisor:
         if result.delivered:
             # The link works but the server answered nothing: it is the
             # process that is gone, not the path.
-            estimator.add_probe(now_s, probe_bytes, result.elapsed_s)
+            self._ingest_timings(server_id, now_s, ping, probe_bytes,
+                                 result.elapsed_s)
         else:
             estimator.add_failure(now_s, probe_bytes, result.elapsed_s)
+        return self._probe_missed(health, breaker, now_s)
+
+    def _probe_missed(self, health: ServerHealth, breaker: CircuitBreaker,
+                      now_s: float) -> bool:
         health.probe_failures += 1
         health.misses += 1
         health.state = (DEAD if health.misses >= self.config.dead_after_misses
                         else SUSPECT)
         breaker.record_failure(now_s)
         return False
+
+    def _ingest_timings(self, server_id: int, now_s: float, ping,
+                        probe_bytes: int, bulk_s: float) -> None:
+        """Fold one delivered probe's timings into the estimators."""
+        estimator = self.estimators[server_id]
+        if ping is None:
+            estimator.add_probe(now_s, probe_bytes, bulk_s)
+            return
+        delta_bytes = probe_bytes - self.config.ping_bytes
+        delta_s = bulk_s - ping.elapsed_s
+        if delta_bytes <= 0 or delta_s <= 0:
+            # Degenerate pair (jitter inverted the ordering, or the bulk
+            # size collapsed onto the ping): keep the uncorrected sample
+            # rather than inventing a negative bandwidth.
+            estimator.add_probe(now_s, probe_bytes, bulk_s)
+            return
+        estimator.add_probe(now_s, delta_bytes, delta_s)
+        bandwidth = delta_bytes * 8 / delta_s
+        latency = max(
+            ping.elapsed_s - self.config.ping_bytes * 8 / bandwidth, 0.0)
+        accepted = self.links[server_id].add(latency)
+        self.last_probe[server_id] = ProbeReport(
+            server_id=server_id, time_s=now_s, ping_s=ping.elapsed_s,
+            bulk_s=bulk_s, bulk_bytes=probe_bytes, latency_s=latency,
+            bandwidth_bps=bandwidth, accepted=accepted)
 
     def detect_restart(self, server_id: int, now_s: float) -> bool:
         """Notice a crash/restart cycle and wipe per-server learned state.
@@ -196,6 +271,9 @@ class FleetSupervisor:
         health.k = 1.0
         health.k_time_s = -math.inf
         self.estimators[server_id].reset()
+        # ``self.links`` deliberately survives the wipe: link latency is a
+        # property of the *path*, not the server process, so everything
+        # learned about it before the crash still holds after the restart.
         return True
 
     # -- request-outcome observations (fed by the gateway ports) ---------------
@@ -238,6 +316,10 @@ class FleetSupervisor:
             return fallback
         return estimator.estimate()
 
+    def latency_for(self, server_id: int) -> float:
+        """Learned link base latency of ``server_id`` (prior until probed)."""
+        return self.links[server_id].estimate()
+
     def routable(self, server_id: int) -> bool:
         """May the gateway route new offloads to this server right now?"""
         return (not self.health[server_id].is_dead
@@ -266,5 +348,7 @@ class FleetSupervisor:
                 "probe_failures": health.probe_failures,
                 "busy_count": health.busy_count,
                 "bandwidth_bps": self.bandwidth_for(sid, float("nan")),
+                "link_latency_s": self.latency_for(sid),
+                "link_samples": self.links[sid].sample_count,
             }
         return rows

@@ -157,3 +157,68 @@ class TestObjective:
             multi_tier_objective(2, 1, device, edge, cloud, sizes, 8e6, 50e6)
         with pytest.raises(ValueError):
             multi_tier_objective(0, n + 1, device, edge, cloud, sizes, 8e6, 50e6)
+
+
+class TestExtraLatencies:
+    """Per-hop link penalties on the device->edge and edge->cloud uplinks."""
+
+    @given(seed=st.integers(0, 2**31), b1=st.floats(1e5, 1e8),
+           b2=st.floats(1e5, 1e9), e1=st.floats(0.0, 0.2),
+           e2=st.floats(0.0, 0.2))
+    @settings(max_examples=60, deadline=None)
+    def test_scan_matches_brute_force_with_extras(self, seed, b1, b2, e1, e2):
+        device, edge, cloud, sizes = random_instance(seed)
+        fast = multi_tier_decision(
+            device, edge, cloud, sizes, b1, b2,
+            extra_latency_edge_s=e1, extra_latency_cloud_s=e2)
+        brute = multi_tier_brute_force(
+            device, edge, cloud, sizes, b1, b2,
+            extra_latency_edge_s=e1, extra_latency_cloud_s=e2)
+        assert fast.predicted_latency == pytest.approx(
+            brute.predicted_latency, rel=1e-9)
+
+    def test_zero_extras_bit_identical_to_default(self):
+        for seed in range(10):
+            device, edge, cloud, sizes = random_instance(seed)
+            base = multi_tier_decision(device, edge, cloud, sizes, 8e6, 50e6)
+            zero = multi_tier_decision(
+                device, edge, cloud, sizes, 8e6, 50e6,
+                extra_latency_edge_s=0.0, extra_latency_cloud_s=0.0)
+            assert zero.device_point == base.device_point
+            assert zero.edge_point == base.edge_point
+            assert zero.predicted_latency == base.predicted_latency  # bitwise
+
+    def test_hop_charged_only_when_taken(self):
+        device, edge, cloud, sizes = random_instance(4)
+        n = len(device)
+        for (p, q) in [(0, n // 2), (0, n), (n // 2, n), (n, n)]:
+            plain = multi_tier_objective(p, q, device, edge, cloud, sizes,
+                                         8e6, 50e6)
+            priced = multi_tier_objective(
+                p, q, device, edge, cloud, sizes, 8e6, 50e6,
+                extra_latency_edge_s=0.5, extra_latency_cloud_s=0.25)
+            expected = plain
+            if not (p == n and q == n):
+                expected += 0.5            # device->edge hop taken
+                if q < n:
+                    expected += 0.25       # edge->cloud hop taken
+            assert priced == pytest.approx(expected, rel=1e-12)
+
+    def test_huge_cloud_penalty_keeps_work_off_the_cloud(self):
+        device, edge, cloud, sizes = random_instance(4)
+        n = len(device)
+        d = multi_tier_decision(device, edge, cloud, sizes, 8e6, 50e6,
+                                extra_latency_cloud_s=1e9)
+        assert d.edge_point == n   # two-tier split: cloud never entered
+        d2 = multi_tier_decision(device, edge, cloud, sizes, 8e6, 50e6,
+                                 extra_latency_edge_s=1e9,
+                                 extra_latency_cloud_s=1e9)
+        assert (d2.device_point, d2.edge_point) == (n, n)  # fully local
+
+    def test_negative_extras_rejected(self):
+        with pytest.raises(ValueError):
+            multi_tier_decision([1.0], [1.0], [1.0], [1, 0], 1e6, 1e6,
+                                extra_latency_edge_s=-0.1)
+        with pytest.raises(ValueError):
+            multi_tier_decision([1.0], [1.0], [1.0], [1, 0], 1e6, 1e6,
+                                extra_latency_cloud_s=-0.1)

@@ -165,3 +165,93 @@ class TestEstimator:
         est.add_probe(0.0, 100_000, 0.1)
         assert est.sample_count == 1
         assert est.estimate() == pytest.approx(8e6)
+
+
+class TestLinkEstimator:
+    """EWMA link-latency estimator with outlier rejection (supervisor input)."""
+
+    def _import(self):
+        from repro.network.estimator import LinkEstimator
+        return LinkEstimator
+
+    def test_prior_until_first_sample(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.02)
+        assert est.estimate() == 0.02
+        assert est.sample_count == 0
+        est.add(0.005)
+        assert est.estimate() == 0.005  # first sample seeds the mean
+        assert est.prior_s == 0.02      # prior itself is immutable
+
+    def test_converges_to_noisy_signal(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.0, alpha=0.25)
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            est.add(0.01 * float(rng.lognormal(sigma=0.1)))
+        assert est.estimate() == pytest.approx(0.01, rel=0.15)
+        assert est.rejected_count < 20  # routine noise is not "outliers"
+
+    def test_single_outlier_rejected_after_warmup(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.0, warmup=4)
+        for _ in range(6):
+            assert est.add(0.01)
+        assert est.add(1.0) is False  # 100x spike: rejected
+        assert est.rejected_count == 1
+        assert est.estimate() == pytest.approx(0.01)
+        assert est.add(0.01)          # and the stream recovers instantly
+
+    def test_level_shift_reseeds_after_max_rejects(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.0, warmup=4, max_consecutive_rejects=3)
+        for _ in range(6):
+            est.add(0.01)
+        # The path really changed: 3 rejections, then the 4th sample of
+        # the new regime re-seeds instead of being discarded forever.
+        for _ in range(3):
+            assert est.add(0.08) is False
+        assert est.add(0.08) is True
+        assert est.estimate() == pytest.approx(0.08)
+
+    def test_outliers_before_warmup_are_absorbed(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.0, warmup=4)
+        assert est.add(0.01)
+        assert est.add(1.0)  # only 1 sample in: no rejection basis yet
+        assert est.rejected_count == 0
+
+    def test_invalid_samples_ignored(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.02)
+        assert est.add(float("nan")) is False
+        assert est.add(float("inf")) is False
+        assert est.add(-0.001) is False
+        assert est.sample_count == 0
+        assert est.estimate() == 0.02
+
+    def test_reset_restores_prior(self):
+        LinkEstimator = self._import()
+        est = LinkEstimator(prior_s=0.02)
+        for _ in range(8):
+            est.add(0.005)
+        assert est.estimate() == pytest.approx(0.005)
+        est.reset()
+        assert est.estimate() == 0.02
+        assert est.sample_count == 0
+        assert est.rejected_count == 0
+
+    def test_validation(self):
+        LinkEstimator = self._import()
+        with pytest.raises(ValueError):
+            LinkEstimator(prior_s=-0.1)
+        with pytest.raises(ValueError):
+            LinkEstimator(alpha=0.0)
+        with pytest.raises(ValueError):
+            LinkEstimator(alpha=1.5)
+        with pytest.raises(ValueError):
+            LinkEstimator(outlier_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkEstimator(warmup=0)
+        with pytest.raises(ValueError):
+            LinkEstimator(max_consecutive_rejects=0)

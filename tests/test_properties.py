@@ -290,3 +290,133 @@ class TestAlgorithmOnRandomGraphs:
         bf_p, bf_val = brute_force(device, edge, sizes, bw, k)
         assert decision.point == bf_p
         assert decision.predicted_latency == pytest.approx(bf_val, rel=1e-9)
+
+
+class _TimesPredictor:
+    """Duck-typed predictor bundle with fixed per-node times.
+
+    The engine only needs ``.side`` and ``.predict_nodes`` from its
+    predictors, so property tests can plant arbitrary latency landscapes
+    without training NNLS models.
+    """
+
+    def __init__(self, side, times):
+        self.side = side
+        self._times = np.asarray(times, dtype=np.float64)
+
+    def predict_nodes(self, profiles):
+        assert len(profiles) == len(self._times)
+        return self._times.copy()
+
+
+class TestFleetDifferential:
+    """``decide_fleet`` vs the exhaustive heterogeneous reference.
+
+    Every random scenario draws per-server profiles (predictor scale,
+    bandwidth prior, link position), load factors and live bandwidth
+    estimates, then demands *bitwise* agreement — point, server,
+    predicted latency and all per-server candidate vectors — between the
+    O(n)-per-server scan and the explicit ``(point, server)``
+    enumeration, including the all-servers-masked and ``point == n``
+    edges.  The direct-summation objective must agree numerically at
+    every candidate the scan produced.
+    """
+
+    @given(data=st.data(), graph=random_dag())
+    @settings(max_examples=40, deadline=None)
+    def test_heterogeneous_scan_matches_brute_force(self, data, graph):
+        from repro.core.engine import (
+            LoADPartEngine, ServerProfile, fleet_brute_force, fleet_objective,
+        )
+        from repro.profiling.predictor import ScaledPredictor
+
+        seed = data.draw(st.integers(0, 2**31), label="times_seed")
+        rng = np.random.default_rng(seed)
+        n = len(graph)
+        edge_base = _TimesPredictor("edge", rng.random(n) * 0.01)
+        engine = LoADPartEngine(
+            graph, _TimesPredictor("device", rng.random(n)), edge_base)
+
+        num = data.draw(st.integers(1, 4), label="num_servers")
+        profiles, bandwidths, ks = [], [], []
+        for s in range(num):
+            scale = data.draw(
+                st.one_of(st.none(), st.floats(0.25, 4.0)), label=f"scale{s}")
+            prior = data.draw(
+                st.one_of(st.none(), st.floats(1e5, 1e8)), label=f"prior{s}")
+            profiles.append(ServerProfile(
+                edge_predictor=(None if scale is None
+                                else ScaledPredictor(edge_base, scale)),
+                bandwidth_bps=prior,
+                extra_latency_s=data.draw(st.floats(0.0, 0.05),
+                                          label=f"extra{s}"),
+            ))
+            live_bw = data.draw(
+                st.one_of(st.none(), st.floats(1e5, 1e8)), label=f"bw{s}")
+            if live_bw is None and prior is None:
+                live_bw = 8e6  # someone must know a bandwidth
+            bandwidths.append(live_bw)
+            ks.append(data.draw(st.floats(1.0, 50.0), label=f"k{s}"))
+        allowed = data.draw(
+            st.one_of(st.none(),
+                      st.lists(st.integers(0, num - 1), max_size=num)),
+            label="allowed")
+        offload_only = data.draw(st.booleans(), label="offload_only")
+
+        got = engine.decide_fleet(
+            bandwidths, ks, allowed=allowed, offload_only=offload_only,
+            profiles=profiles)
+        ref = fleet_brute_force(
+            engine, bandwidths, ks, allowed=allowed,
+            offload_only=offload_only, profiles=profiles)
+
+        assert got.point == ref.point
+        assert got.server == ref.server
+        assert got.predicted_latency == ref.predicted_latency  # bitwise
+        for s, (dg, dr) in enumerate(zip(got.decisions, ref.decisions)):
+            if dg is None:
+                assert dr is None
+                continue
+            assert dg.point == dr.point
+            assert dg.predicted_latency == dr.predicted_latency
+            assert np.array_equal(dg.candidates, dr.candidates)
+            # Independent restatement of Problem (1) at spot-check points.
+            bw_s = (bandwidths[s] if bandwidths[s] is not None
+                    else profiles[s].bandwidth_bps)
+            for p in {0, n // 2, n, dg.point}:
+                direct = fleet_objective(
+                    engine, p, bw_s, k=ks[s],
+                    extra_latency_s=profiles[s].extra_latency_s,
+                    profile=profiles[s])
+                assert direct == pytest.approx(float(dg.candidates[p]),
+                                               rel=1e-9, abs=1e-12)
+
+    @given(data=st.data(), graph=random_dag())
+    @settings(max_examples=25, deadline=None)
+    def test_uniform_profiles_are_the_homogeneous_scan(self, data, graph):
+        """Identical profiles reproduce the profile-free scan bit-for-bit."""
+        from repro.core.engine import LoADPartEngine, ServerProfile
+        from repro.profiling.predictor import ScaledPredictor
+
+        seed = data.draw(st.integers(0, 2**31), label="times_seed")
+        rng = np.random.default_rng(seed)
+        n = len(graph)
+        edge_base = _TimesPredictor("edge", rng.random(n) * 0.01)
+        engine = LoADPartEngine(
+            graph, _TimesPredictor("device", rng.random(n)), edge_base)
+        num = data.draw(st.integers(1, 3), label="num_servers")
+        bandwidths = [data.draw(st.floats(1e5, 1e8), label=f"bw{s}")
+                      for s in range(num)]
+        ks = [data.draw(st.floats(1.0, 50.0), label=f"k{s}")
+              for s in range(num)]
+        plain = engine.decide_fleet(bandwidths, ks)
+        for uniform in (ServerProfile(),
+                        ServerProfile(edge_predictor=ScaledPredictor(
+                            edge_base, 1.0))):
+            dressed = engine.decide_fleet(
+                bandwidths, ks, profiles=[uniform] * num)
+            assert dressed.point == plain.point
+            assert dressed.server == plain.server
+            assert dressed.predicted_latency == plain.predicted_latency
+            for dp, dd in zip(plain.decisions, dressed.decisions):
+                assert np.array_equal(dp.candidates, dd.candidates)

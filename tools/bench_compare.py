@@ -39,9 +39,11 @@ latter carries PR 4's accepted chain-compile overhead).
 
 ``BENCH_fleet.json`` reports gate on the candidate alone: the 4-server
 fleet must complete every request (availability 1.0) while server 0
-crashes mid-run, its p95 must beat the saturated 1-server fleet's, and
-the degenerate 1-server gateway must have stayed record-identical to the
-direct client-server path.
+crashes mid-run, its p95 must beat the saturated 1-server fleet's, the
+degenerate 1-server gateway must have stayed record-identical to the
+direct client-server path, and on the heterogeneous (fast+near vs
+slow+far) cell the profile-aware arm's p95 must strictly beat the
+profile-blind arm's.
 
 ``BENCH_streaming.json`` reports gate on the candidate alone (the numbers
 come from the declared cost model, so host speed cancels entirely):
@@ -131,11 +133,13 @@ def compare_fleet(baseline: dict, candidate: dict,
                   threshold: float) -> list[str]:
     """Gate the sharded-fleet report on the candidate's own numbers.
 
-    Three hard gates, all host-speed-free: the 4-server fleet must ride
+    Four hard gates, all host-speed-free: the 4-server fleet must ride
     through the mid-run crash at availability 1.0, its p95 must beat the
-    1-server fleet's p95 at the same saturation, and the degenerate
-    1-server gateway must have stayed record-identical to the direct
-    path.  The baseline is printed for side-by-side context only.
+    1-server fleet's p95 at the same saturation, the degenerate 1-server
+    gateway must have stayed record-identical to the direct path, and
+    profile-aware routing must beat profile-blind routing on p95 in the
+    heterogeneous cell.  The baseline is printed for side-by-side
+    context only.
     """
     regressions: list[str] = []
     b4, c4 = baseline["fleet4_availability"], candidate["fleet4_availability"]
@@ -157,6 +161,20 @@ def compare_fleet(baseline: dict, candidate: dict,
     if not candidate["degenerate_identical"]:
         regressions.append(
             "degenerate 1-server gateway diverged from the direct path")
+    # Heterogeneous cell (reports that predate it skip the gate).
+    ca = candidate.get("hetero_aware_p95_ms")
+    cb = candidate.get("hetero_blind_p95_ms")
+    if ca is not None and cb is not None:
+        ba = baseline.get("hetero_aware_p95_ms")
+        bb = baseline.get("hetero_blind_p95_ms")
+        context = (f"{ba:.1f} -> " if ba is not None else "")
+        print(f"hetero aware p95 {context}{ca:.1f} ms vs blind "
+              f"{(f'{bb:.1f} -> ' if bb is not None else '')}{cb:.1f} ms")
+        if ca >= cb:
+            regressions.append(
+                f"hetero aware p95 {ca:.1f} ms >= blind p95 {cb:.1f} ms "
+                "(per-server profiles bought no tail latency on the "
+                "fast+near / slow+far fleet)")
     return regressions
 
 
