@@ -36,3 +36,16 @@ def alexnet_engine(engine_for):
 @pytest.fixture(scope="session")
 def squeezenet_engine(engine_for):
     return engine_for("squeezenet")
+
+
+@pytest.fixture(scope="session")
+def exit_engine_for(trained_report):
+    """Factory fixture: a cached exit-carrying engine for any exit family."""
+    from repro.experiments.context import default_exit_engine
+
+    return lambda model: default_exit_engine(model)
+
+
+@pytest.fixture(scope="session")
+def squeezenet_exit_engine(exit_engine_for):
+    return exit_engine_for("squeezenet")

@@ -39,6 +39,7 @@ from repro.core.partition_algorithm import (
     compute_suffix_edge,
     partition_decision,
 )
+from repro.graph.exits import ExitBranch, validate_exits
 from repro.graph.graph import ComputationGraph
 from repro.profiling.features import NodeProfile, profile_graph
 from repro.profiling.predictor import LatencyPredictor
@@ -95,6 +96,57 @@ class FleetDecision:
 
 
 @dataclass(frozen=True)
+class ExitDecision:
+    """Result of one joint ``(exit, partition point)`` decision.
+
+    ``exit_index`` indexes the engine's exit set (the final exit — the
+    full network — is ``num_exits - 1``); ``feasible`` says whether the
+    chosen exit's best partition meets the SLA (always ``True`` when
+    ``sla_s`` is ``None``).  ``decision`` is the chosen exit's own
+    Algorithm 1 result; ``decisions`` holds every per-exit result,
+    index-aligned with the exit set (``None`` for exits the scan never
+    evaluated, i.e. the degenerate ``sla_s=None`` path).
+    """
+
+    exit_index: int
+    point: int
+    predicted_latency: float
+    accuracy: float
+    sla_s: float | None
+    feasible: bool
+    decision: PartitionDecision
+    decisions: Tuple[PartitionDecision | None, ...]
+
+    @property
+    def is_local(self) -> bool:
+        return self.point == len(self.decision.candidates) - 1
+
+
+@dataclass(frozen=True)
+class ExitFleetDecision:
+    """Result of one joint ``(exit, partition point, server)`` decision.
+
+    The fleet analogue of :class:`ExitDecision`: ``decision`` is the
+    chosen exit's :class:`FleetDecision` and ``decisions`` the per-exit
+    fleet results (``None`` for unevaluated exits).
+    """
+
+    exit_index: int
+    point: int
+    server: int | None
+    predicted_latency: float
+    accuracy: float
+    sla_s: float | None
+    feasible: bool
+    decision: FleetDecision
+    decisions: Tuple[FleetDecision | None, ...]
+
+    @property
+    def is_local(self) -> bool:
+        return self.server is None
+
+
+@dataclass(frozen=True)
 class JointDecision:
     """Result of one joint ``(partition point, codec, chunking)`` decision.
 
@@ -130,6 +182,7 @@ class LoADPartEngine:
         user_predictor: LatencyPredictor,
         edge_predictor: LatencyPredictor,
         upload_codec=None,
+        exits: Sequence[ExitBranch] | None = None,
     ) -> None:
         if user_predictor.side != "device":
             raise ValueError("user_predictor must be the 'device' side")
@@ -161,10 +214,50 @@ class LoADPartEngine:
         self._wire_cache: Dict[str, np.ndarray] = {}
         self._cut_tensor_cache: Dict[int, Tuple[Tuple[str, int, str], ...]] = {}
         self._release_cache: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        # Early exits: one sub-engine per exit branch over the same
+        # predictor bundle — independent per-exit prefix/suffix arrays,
+        # computed once here.  The final exit's engine IS this engine
+        # (its graph is the backbone), so every exit-free code path is
+        # untouched by construction.
+        self.exits: Tuple[ExitBranch, ...] = validate_exits(graph, exits or ())
+        if self.exits:
+            subs = [
+                LoADPartEngine(b.graph, user_predictor, edge_predictor,
+                               upload_codec=upload_codec)
+                for b in self.exits[:-1]
+            ]
+            subs.append(self)
+            self._exit_engines: Tuple[LoADPartEngine, ...] = tuple(subs)
+        else:
+            self._exit_engines = (self,)
 
     @property
     def num_nodes(self) -> int:
         return len(self.profiles)
+
+    # -- early exits ---------------------------------------------------------
+
+    @property
+    def has_exits(self) -> bool:
+        return bool(self.exits)
+
+    @property
+    def num_exits(self) -> int:
+        return len(self._exit_engines)
+
+    def exit_engine(self, index: int) -> "LoADPartEngine":
+        """The sub-engine of exit ``index`` (the last one is ``self``)."""
+        return self._exit_engines[index]
+
+    def exit_accuracy(self, index: int | None = None) -> float:
+        """Declared accuracy proxy of exit ``index`` (default: final).
+
+        An exit-free engine reports 1.0 — the full network is the only
+        (and therefore the most accurate) exit.
+        """
+        if not self.exits:
+            return 1.0
+        return self.exits[-1 if index is None else index].accuracy
 
     def decide(
         self,
@@ -328,6 +421,130 @@ class LoADPartEngine:
             predicted_latency=best_value,
             decisions=tuple(decisions),
         )
+
+    # -- early exits: joint (exit, point) and (exit, point, server) ----------
+
+    def decide_exit(
+        self,
+        sla_s: float | None,
+        bandwidth_up: float,
+        k: float = 1.0,
+        bandwidth_down: float | None = None,
+        offload_only: bool = False,
+        extra_latency_s: float = 0.0,
+        profile: ServerProfile | None = None,
+    ) -> ExitDecision:
+        """Jointly pick ``(exit, partition point)`` under a latency SLA.
+
+        One Algorithm 1 scan per exit sub-graph (each reuses its own
+        precomputed prefix/suffix arrays), then the exit axis resolves by
+        *maximum accuracy subject to deadline*: the latest exit whose best
+        partition's predicted latency is ``<= sla_s`` wins — accuracies
+        are nondecreasing in exit order, so "latest feasible" is "most
+        accurate feasible".  When no exit is feasible the decision falls
+        back to the globally fastest ``(exit, point)`` pair (strict ``<``,
+        earliest exit on ties) with ``feasible=False`` — the runtime still
+        serves the request as fast as it can.
+
+        ``sla_s=None`` (and any exit-free engine) reproduces
+        :meth:`decide` bit-for-bit: the returned ``decision`` is exactly
+        the plain scan's :class:`PartitionDecision` and no other exit is
+        evaluated.
+        """
+        last = self.num_exits - 1
+        if sla_s is None:
+            d = self.decide(
+                bandwidth_up, k=k, bandwidth_down=bandwidth_down,
+                offload_only=offload_only, extra_latency_s=extra_latency_s,
+                profile=profile)
+            return ExitDecision(
+                exit_index=last, point=d.point,
+                predicted_latency=d.predicted_latency,
+                accuracy=self.exit_accuracy(), sla_s=None, feasible=True,
+                decision=d, decisions=(None,) * last + (d,))
+        if not math.isfinite(sla_s) or sla_s <= 0:
+            raise ValueError(f"sla_s must be positive and finite, got {sla_s}")
+        decisions = tuple(
+            eng.decide(bandwidth_up, k=k, bandwidth_down=bandwidth_down,
+                       offload_only=offload_only,
+                       extra_latency_s=extra_latency_s, profile=profile)
+            for eng in self._exit_engines)
+        chosen, feasible = self._pick_exit(
+            sla_s, [d.predicted_latency for d in decisions])
+        d = decisions[chosen]
+        return ExitDecision(
+            exit_index=chosen, point=d.point,
+            predicted_latency=d.predicted_latency,
+            accuracy=self.exit_accuracy(chosen), sla_s=sla_s,
+            feasible=feasible, decision=d, decisions=decisions)
+
+    def decide_exit_fleet(
+        self,
+        sla_s: float | None,
+        bandwidths_up: Sequence[float | None],
+        ks: Sequence[float],
+        extra_latencies_s: Sequence[float] | None = None,
+        bandwidth_down: float | None = None,
+        allowed: Sequence[int] | None = None,
+        offload_only: bool = False,
+        profiles: Sequence[ServerProfile | None] | None = None,
+    ) -> ExitFleetDecision:
+        """Jointly pick ``(exit, partition point, server)`` across a fleet.
+
+        The fleet analogue of :meth:`decide_exit`: one
+        :meth:`decide_fleet` scan per exit sub-graph, then the same exit
+        rule — latest exit whose best fleet candidate meets the SLA, else
+        the globally fastest ``(exit, point, server)`` triple (strict
+        ``<``, earliest exit on ties).  ``sla_s=None`` and exit-free
+        engines reproduce :meth:`decide_fleet` bit-for-bit.
+        """
+        last = self.num_exits - 1
+        if sla_s is None:
+            d = self.decide_fleet(
+                bandwidths_up, ks, extra_latencies_s=extra_latencies_s,
+                bandwidth_down=bandwidth_down, allowed=allowed,
+                offload_only=offload_only, profiles=profiles)
+            return ExitFleetDecision(
+                exit_index=last, point=d.point, server=d.server,
+                predicted_latency=d.predicted_latency,
+                accuracy=self.exit_accuracy(), sla_s=None, feasible=True,
+                decision=d, decisions=(None,) * last + (d,))
+        if not math.isfinite(sla_s) or sla_s <= 0:
+            raise ValueError(f"sla_s must be positive and finite, got {sla_s}")
+        decisions = tuple(
+            eng.decide_fleet(bandwidths_up, ks,
+                             extra_latencies_s=extra_latencies_s,
+                             bandwidth_down=bandwidth_down, allowed=allowed,
+                             offload_only=offload_only, profiles=profiles)
+            for eng in self._exit_engines)
+        chosen, feasible = self._pick_exit(
+            sla_s, [d.predicted_latency for d in decisions])
+        d = decisions[chosen]
+        return ExitFleetDecision(
+            exit_index=chosen, point=d.point, server=d.server,
+            predicted_latency=d.predicted_latency,
+            accuracy=self.exit_accuracy(chosen), sla_s=sla_s,
+            feasible=feasible, decision=d, decisions=decisions)
+
+    @staticmethod
+    def _pick_exit(sla_s: float, latencies: Sequence[float]) -> Tuple[int, bool]:
+        """Exit rule shared by the single-server and fleet scans.
+
+        Latest (most accurate) exit meeting the SLA; if none does, the
+        fastest exit overall — strict ``<`` on a forward scan, so the
+        earliest exit wins latency ties.  With this fallback a *tighter*
+        SLA can never select a *later* exit (SLA monotonicity): the
+        global argmin's latency is a lower bound on every feasible
+        latency at any looser SLA.
+        """
+        for e in range(len(latencies) - 1, -1, -1):
+            if latencies[e] <= sla_s:
+                return e, True
+        fastest = 0
+        for e in range(1, len(latencies)):
+            if latencies[e] < latencies[fastest]:
+                fastest = e
+        return fastest, False
 
     # -- streaming: joint (point, codec, chunking) decision ------------------
 
@@ -758,3 +975,160 @@ def fleet_brute_force(
         predicted_latency=best_value,
         decisions=tuple(decisions),
     )
+
+
+# -- differential references for the exit grid --------------------------------
+#
+# ``decide_exit`` / ``decide_exit_fleet`` must agree bitwise with these
+# exhaustive enumerations of every (exit, point) — resp. (exit, point,
+# server) — pair.  Each exit's objective vector is rebuilt with the same
+# scalar arithmetic mirrors as ``fleet_brute_force`` (independent per-exit
+# predictions via each sub-graph's own profiles), and the exit-selection
+# rule is restated with explicit loops so a bug in ``_pick_exit`` cannot
+# hide in both implementations.
+
+
+def _scalar_scan(
+    engine: LoADPartEngine,
+    bandwidth_up: float,
+    k: float,
+    bandwidth_down: float | None,
+    offload_only: bool,
+    extra_latency_s: float,
+    profile: ServerProfile | None,
+) -> PartitionDecision:
+    """Scalar mirror of ``partition_decision`` for one exit sub-graph."""
+    if k < 1.0:
+        raise ValueError(f"the influential factor k must be >= 1, got {k}")
+    if bandwidth_up <= 0:
+        raise ValueError("upload bandwidth must be positive")
+    if extra_latency_s < 0:
+        raise ValueError("extra_latency_s must be non-negative")
+    download = 0.0
+    if bandwidth_down is not None:
+        if bandwidth_down <= 0:
+            raise ValueError("download bandwidth must be positive")
+        download = engine.output_bytes * 8 / bandwidth_down
+    n = engine.num_nodes
+    prefix = engine._prefix
+    suffix = engine._suffix_for(profile)
+    sizes = engine.sizes
+    vals = np.empty(n + 1, dtype=np.float64)
+    scan_len = n if offload_only else n + 1
+    sp = 0
+    sv = math.inf
+    for p in range(n + 1):
+        c = prefix[p] + k * suffix[p]
+        if p < n:
+            c = c + (sizes[p] * 8 / bandwidth_up + download + extra_latency_s)
+        vals[p] = c
+        if p < scan_len and c <= sv:
+            sp, sv = p, c
+    return PartitionDecision(point=sp, predicted_latency=float(vals[sp]),
+                             candidates=vals)
+
+
+def exit_brute_force(
+    engine: LoADPartEngine,
+    sla_s: float | None,
+    bandwidth_up: float,
+    k: float = 1.0,
+    bandwidth_down: float | None = None,
+    offload_only: bool = False,
+    extra_latency_s: float = 0.0,
+    profile: ServerProfile | None = None,
+) -> ExitDecision:
+    """Exhaustive ``(exit, point)`` reference for ``decide_exit``.
+
+    Every exit's objective vector is enumerated point by point with the
+    scalar mirror of Algorithm 1's vector arithmetic; the exit axis is
+    then resolved by explicit loops — backward for the latest feasible
+    exit, forward strict-``<`` for the no-feasible-exit fallback — so the
+    result must match ``decide_exit`` bitwise.
+    """
+    last = engine.num_exits - 1
+    if sla_s is None:
+        d = _scalar_scan(engine, bandwidth_up, k, bandwidth_down,
+                         offload_only, extra_latency_s, profile)
+        return ExitDecision(
+            exit_index=last, point=d.point,
+            predicted_latency=d.predicted_latency,
+            accuracy=engine.exit_accuracy(), sla_s=None, feasible=True,
+            decision=d, decisions=(None,) * last + (d,))
+    decisions = tuple(
+        _scalar_scan(engine.exit_engine(e), bandwidth_up, k, bandwidth_down,
+                     offload_only, extra_latency_s, profile)
+        for e in range(last + 1))
+    chosen = None
+    feasible = True
+    for e in range(last, -1, -1):
+        if decisions[e].predicted_latency <= sla_s:
+            chosen = e
+            break
+    if chosen is None:
+        feasible = False
+        chosen = 0
+        for e in range(1, last + 1):
+            if decisions[e].predicted_latency < decisions[chosen].predicted_latency:
+                chosen = e
+    d = decisions[chosen]
+    return ExitDecision(
+        exit_index=chosen, point=d.point,
+        predicted_latency=d.predicted_latency,
+        accuracy=engine.exit_accuracy(chosen), sla_s=sla_s,
+        feasible=feasible, decision=d, decisions=decisions)
+
+
+def exit_fleet_brute_force(
+    engine: LoADPartEngine,
+    sla_s: float | None,
+    bandwidths_up: Sequence[float | None],
+    ks: Sequence[float],
+    extra_latencies_s: Sequence[float] | None = None,
+    bandwidth_down: float | None = None,
+    allowed: Sequence[int] | None = None,
+    offload_only: bool = False,
+    profiles: Sequence[ServerProfile | None] | None = None,
+) -> ExitFleetDecision:
+    """Exhaustive ``(exit, point, server)`` reference for ``decide_exit_fleet``.
+
+    Per exit, :func:`fleet_brute_force` enumerates every ``(point,
+    server)`` pair; the exit axis is then resolved with the same explicit
+    loops as :func:`exit_brute_force`.
+    """
+    last = engine.num_exits - 1
+    if sla_s is None:
+        d = fleet_brute_force(
+            engine, bandwidths_up, ks, extra_latencies_s=extra_latencies_s,
+            bandwidth_down=bandwidth_down, allowed=allowed,
+            offload_only=offload_only, profiles=profiles)
+        return ExitFleetDecision(
+            exit_index=last, point=d.point, server=d.server,
+            predicted_latency=d.predicted_latency,
+            accuracy=engine.exit_accuracy(), sla_s=None, feasible=True,
+            decision=d, decisions=(None,) * last + (d,))
+    decisions = tuple(
+        fleet_brute_force(
+            engine.exit_engine(e), bandwidths_up, ks,
+            extra_latencies_s=extra_latencies_s,
+            bandwidth_down=bandwidth_down, allowed=allowed,
+            offload_only=offload_only, profiles=profiles)
+        for e in range(last + 1))
+    chosen = None
+    feasible = True
+    for e in range(last, -1, -1):
+        if decisions[e].predicted_latency <= sla_s:
+            chosen = e
+            break
+    if chosen is None:
+        feasible = False
+        chosen = 0
+        for e in range(1, last + 1):
+            if decisions[e].predicted_latency < decisions[chosen].predicted_latency:
+                chosen = e
+    d = decisions[chosen]
+    return ExitFleetDecision(
+        exit_index=chosen, point=d.point, server=d.server,
+        predicted_latency=d.predicted_latency,
+        accuracy=engine.exit_accuracy(chosen), sla_s=sla_s,
+        feasible=feasible, decision=d, decisions=decisions)

@@ -9,14 +9,19 @@ with batch size 1 and the input sizes of the paper: 1x3x227x227 for
 SqueezeNet, 1x3x299x299 for Xception/InceptionV3, 1x3x224x224 otherwise.
 """
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
+from repro.graph.exits import ExitBranch, build_exit_branches
 from repro.graph.graph import ComputationGraph
 from repro.models.alexnet import build_alexnet
 from repro.models.inception import build_inception_v3
-from repro.models.mobilenet import build_mobilenet_v1, build_mobilenet_v2
-from repro.models.resnet import build_resnet
-from repro.models.squeezenet import build_squeezenet
+from repro.models.mobilenet import (
+    build_mobilenet_v1,
+    build_mobilenet_v2,
+    mobilenet_exit_specs,
+)
+from repro.models.resnet import build_resnet, resnet_exit_specs
+from repro.models.squeezenet import build_squeezenet, squeezenet_exit_specs
 from repro.models.vgg import build_vgg16
 from repro.models.xception import build_xception
 
@@ -44,6 +49,14 @@ EVALUATED_MODELS: List[str] = [
     "xception",
 ]
 
+#: Families carrying declared early-exit sets (BranchyNet-style heads).
+#: Each entry maps to a zero-arg callable returning ``(specs, final_acc)``.
+EXIT_MODEL_SPECS: Dict[str, Callable[[], tuple]] = {
+    "resnet18": resnet_exit_specs,
+    "mobilenet_v1": mobilenet_exit_specs,
+    "squeezenet": squeezenet_exit_specs,
+}
+
 _CACHE: Dict[str, ComputationGraph] = {}
 
 
@@ -67,9 +80,33 @@ def list_models() -> List[str]:
     return sorted(MODEL_BUILDERS)
 
 
+def build_exit_model(name: str) -> Tuple[ComputationGraph, Tuple[ExitBranch, ...]]:
+    """Build ``name``'s backbone plus its declared early-exit branches.
+
+    The returned branch tuple ends with the backbone itself (the final
+    exit), ready to pass straight to ``LoADPartEngine(exits=...)``.
+    """
+    try:
+        spec_fn = EXIT_MODEL_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"model {name!r} declares no exits; available: {sorted(EXIT_MODEL_SPECS)}"
+        ) from None
+    graph = build_model(name)
+    specs, final_accuracy = spec_fn()
+    return graph, build_exit_branches(graph, specs, final_accuracy)
+
+
+def list_exit_models() -> List[str]:
+    return sorted(EXIT_MODEL_SPECS)
+
+
 __all__ = [
     "EVALUATED_MODELS",
+    "EXIT_MODEL_SPECS",
     "MODEL_BUILDERS",
+    "build_exit_model",
+    "list_exit_models",
     "build_alexnet",
     "build_inception_v3",
     "build_mobilenet_v1",

@@ -91,3 +91,15 @@ def build_mobilenet_v2(num_classes: int = 1000) -> ComputationGraph:
     x = b.dense_block(x, num_classes, act=None, prefix="fc")
     b.output(x)
     return b.build()
+
+
+def mobilenet_exit_specs():
+    """Early-exit declarations for MobileNetV1 (depthwise block tops)."""
+    from repro.graph.exits import ExitSpec
+
+    specs = (
+        ExitSpec(attach="block3.pwrelu", accuracy=0.54),
+        ExitSpec(attach="block7.pwrelu", accuracy=0.63),
+        ExitSpec(attach="block11.pwrelu", accuracy=0.68),
+    )
+    return specs, 0.71

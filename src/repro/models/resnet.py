@@ -79,3 +79,27 @@ def build_resnet(depth: int, num_classes: int = 1000) -> ComputationGraph:
     x = b.dense_block(x, num_classes, act=None, prefix="fc")
     b.output(x)
     return b.build()
+
+
+def resnet_exit_specs(depth: int = 18):
+    """Early-exit declarations for the ResNet family (stage boundaries).
+
+    Returns ``(specs, final_accuracy)`` for
+    :func:`repro.graph.exits.build_exit_branches`.  The side heads hang
+    off the last block of stages 1-3; accuracy proxies are BranchyNet-
+    style held-out top-1 stand-ins, nondecreasing toward the final exit.
+    """
+    from repro.graph.exits import ExitSpec
+
+    try:
+        _kind, repeats = _LAYER_CONFIGS[depth]
+    except KeyError:
+        raise ValueError(
+            f"unsupported ResNet depth {depth}; choose from {sorted(_LAYER_CONFIGS)}"
+        ) from None
+    accuracies = (0.55, 0.62, 0.67)
+    specs = tuple(
+        ExitSpec(attach=f"layer{stage}.{repeats[stage - 1]}.relu", accuracy=acc)
+        for stage, acc in zip((1, 2, 3), accuracies)
+    )
+    return specs, 0.70

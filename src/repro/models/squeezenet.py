@@ -50,3 +50,15 @@ def build_squeezenet(num_classes: int = 1000) -> ComputationGraph:
     x = b.flatten(x, name="flatten")
     b.output(x)
     return b.build()
+
+
+def squeezenet_exit_specs():
+    """Early-exit declarations for SqueezeNet (fire-module concats)."""
+    from repro.graph.exits import ExitSpec
+
+    specs = (
+        ExitSpec(attach="fire4.concat", accuracy=0.44),
+        ExitSpec(attach="fire6.concat", accuracy=0.51),
+        ExitSpec(attach="fire8.concat", accuracy=0.55),
+    )
+    return specs, 0.58

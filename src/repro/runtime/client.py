@@ -88,6 +88,10 @@ class PendingOffload:
     chunks: int = 1
     wire_bytes: int = 0
     arrivals: Dict[str, float] | None = None
+    #: SLA class the request carries and the early exit the decision chose
+    #: (``None``/``None`` on the classic full-network path).
+    sla_s: float | None = None
+    exit_index: int | None = None
 
     @property
     def deadline_s(self) -> float:
@@ -115,6 +119,7 @@ class UserDevice:
         resilience: ResilienceConfig | None = None,
         parallelism: ParallelConfig | None = None,
         streaming: StreamingConfig | None = None,
+        sla_s: float | None = None,
     ) -> None:
         self.engine = engine
         self.server = server
@@ -126,6 +131,14 @@ class UserDevice:
                 "streaming requires a policy with decide_joint (the "
                 "LoADPart engine or a pinned joint policy); "
                 f"got {type(self.policy).__name__}")
+        self.sla_s = sla_s
+        if sla_s is not None:
+            if not math.isfinite(sla_s) or sla_s <= 0:
+                raise ValueError(f"sla_s must be positive and finite, got {sla_s}")
+            if streaming is not None:
+                raise ValueError(
+                    "per-request SLA classes are incompatible with streaming "
+                    "uploads (the streamed joint decision has no exit axis)")
         self.device_model = device_model or DeviceModel()
         self.resilience = resilience
         if estimator is not None:
@@ -151,6 +164,11 @@ class UserDevice:
         self._model_seed = model_seed
         self._model_params: Dict[str, np.ndarray] | None = None
         self._head_executors: CompileOnceCache = CompileOnceCache()
+        # Early-exit state, lazy: per-exit partition caches and parameters.
+        # Exit-free devices (and the final exit, whose graph *is* the
+        # backbone) use ``self.cache`` / ``self.model_params`` directly.
+        self._exit_caches: Dict[int, PartitionCache] = {}
+        self._exit_params: Dict[int, Dict[str, np.ndarray]] = {}
         # Functional inputs come from a dedicated stream: ``self._rng`` keeps
         # driving the simulated timing draws, so InferenceRecords are
         # identical whether functional execution is on or off (and across
@@ -234,6 +252,49 @@ class UserDevice:
             return 1.0
         return self._latest_k
 
+    # -- early exits -----------------------------------------------------------
+
+    def _engine_for(self, exit_index: int | None) -> LoADPartEngine:
+        if exit_index is None:
+            return self.engine
+        return self.engine.exit_engine(exit_index)
+
+    def _cache_for(self, exit_index: int | None) -> PartitionCache:
+        """Partition cache of one exit's graph (final exit == backbone ==
+        :attr:`cache`, so exit-free and final-exit traffic share entries)."""
+        if exit_index is None or exit_index == self.engine.num_exits - 1:
+            return self.cache
+        cache = self._exit_caches.get(exit_index)
+        if cache is None:
+            cache = PartitionCache(GraphPartitioner(
+                self.engine.exit_engine(exit_index).graph))
+            self._exit_caches[exit_index] = cache
+        return cache
+
+    def _params_for(self, exit_index: int | None) -> Dict[str, np.ndarray]:
+        """Parameters of one exit's graph; the shared backbone prefix is
+        bit-identical across exits (parameters are seeded per name)."""
+        if exit_index is None or exit_index == self.engine.num_exits - 1:
+            return self.model_params
+        params = self._exit_params.get(exit_index)
+        if params is None:
+            graph = self.engine.exit_engine(exit_index).graph
+            params = init_parameters(
+                (graph.node(n) for n in graph.topological_order()),
+                self._model_seed,
+            )
+            self._exit_params[exit_index] = params
+        return params
+
+    def _finalize_sla(self, record: InferenceRecord) -> InferenceRecord:
+        """Re-stamp ``met_sla`` after any adjustment to ``total_s``."""
+        if record.sla_s is None:
+            return record
+        met = record.completed and record.total_s <= record.sla_s
+        if met == record.met_sla:
+            return record
+        return replace(record, met_sla=met)
+
     # -- functional execution --------------------------------------------------
 
     @property
@@ -246,7 +307,8 @@ class UserDevice:
             )
         return self._model_params
 
-    def _run_head(self, partitioned: PartitionedGraph) -> Tuple[
+    def _run_head(self, partitioned: PartitionedGraph,
+                  exit_index: int | None = None) -> Tuple[
             Dict[str, np.ndarray], Dict[str, np.ndarray]]:
         """Draw an input and execute the head; returns (outputs, transfers).
 
@@ -254,14 +316,17 @@ class UserDevice:
         ``transfers`` are the tensors that cross the cut (the raw input is
         forwarded, not recomputed, when it crosses).
         """
-        graph = self.engine.graph
+        graph = self._engine_for(exit_index).graph
         x = self._data_rng.standard_normal(graph.input_spec.shape).astype(np.float32)
         outputs: Dict[str, np.ndarray] = {}
         if not partitioned.head.is_empty:
             point = partitioned.partition_point
+            final = exit_index is None or exit_index == self.engine.num_exits - 1
+            key = point if final else ("exit", exit_index, point)
+            params = self._params_for(exit_index)
             executor = self._head_executors.get_or_create(
-                point, lambda: SegmentExecutor(
-                    partitioned.head, params=self.model_params,
+                key, lambda: SegmentExecutor(
+                    partitioned.head, params=params,
                     backend=self.backend, parallelism=self.parallelism,
                 )
             )
@@ -277,6 +342,7 @@ class UserDevice:
 
     def begin_inference(self, now_s: float, *, request_id: int | None = None,
                         force_local: bool = False,
+                        sla_budget_s: float | None = None,
                         ) -> InferenceRecord | PendingOffload:
         """Decide, run the head, and upload; stop short of the server call.
 
@@ -293,45 +359,65 @@ class UserDevice:
         :class:`PendingOffload` with ``delivered=False``; without
         resilience it returns a ``status="failed"`` record whose total is
         infinite — the device would wait forever.
+
+        ``sla_budget_s`` is this attempt's remaining SLA budget (retries
+        have already burned part of the class SLA); ``None`` means the full
+        class SLA :attr:`sla_s` — which is also ``None`` on SLA-free
+        devices, reproducing the classic path verbatim.
         """
         if request_id is None:
             self._request_seq += 1
             request_id = self._request_seq
         bandwidth = self.estimator.estimate()
         k = self._current_k(now_s)
+        budget = self.sla_s if sla_budget_s is None else sla_budget_s
         n = self.engine.num_nodes
         timeout_s = 0.0
         joint: JointDecision | None = None
+        exit_index: int | None = None
+        active = self.engine
         if force_local:
+            # Degraded path: the full network, like any SLA-free fallback —
+            # accuracy is never sacrificed blind (without a live decision).
             point = n
         else:
             if self.streaming is not None:
                 joint = self.policy.decide_joint(bandwidth, k=k,
                                                  streaming=self.streaming)
                 decision = joint
+            elif (self.sla_s is not None
+                    and hasattr(self.policy, "decide_exit")):
+                ed = self.policy.decide_exit(budget, bandwidth, k=k)
+                decision = ed.decision
+                if self.engine.has_exits:
+                    exit_index = ed.exit_index
+                    active = self.engine.exit_engine(exit_index)
             else:
                 decision = self.policy.decide(bandwidth, k=k)
             point = decision.point
-            if self.resilience is not None and point < n:
-                timeout_s = self.resilience.timeout_for(decision.predicted_latency)
+            if self.resilience is not None and point < active.num_nodes:
+                timeout_s = self.resilience.timeout_for(
+                    decision.predicted_latency, budget)
 
-        device_cache_hit = point in self.cache
-        partitioned = self.cache.get(point)
+        cache = self._cache_for(exit_index)
+        device_cache_hit = point in cache
+        partitioned = cache.get(point)
         overhead = 0.0 if device_cache_hit else PARTITION_OVERHEAD_S
 
         head_outputs: dict | None = None
         transfers: dict | None = None
         if self.functional:
-            head_outputs, transfers = self._run_head(partitioned)
+            head_outputs, transfers = self._run_head(partitioned, exit_index)
 
         device_s = float(
-            self.device_model.sample_graph_time(self.engine.head_profiles(point), self._rng)
+            self.device_model.sample_graph_time(active.head_profiles(point), self._rng)
         )
 
-        if point == n:
+        if point == active.num_nodes:
             # Local inference: no network, no server involvement.
             if head_outputs is not None:
-                self.last_output = head_outputs[self.engine.graph.output_name]
+                self.last_output = head_outputs[active.graph.output_name]
+            total = device_s + overhead
             return InferenceRecord(
                 request_id=request_id,
                 start_s=now_s,
@@ -343,10 +429,14 @@ class UserDevice:
                 server_s=0.0,
                 download_s=0.0,
                 overhead_s=overhead,
-                total_s=device_s + overhead,
+                total_s=total,
                 load_level=self.server.load_schedule.level_at(now_s).name,
                 device_cache_hit=device_cache_hit,
                 server_cache_hit=True,
+                sla_s=self.sla_s,
+                exit_index=exit_index,
+                met_sla=(total <= self.sla_s
+                         if self.sla_s is not None else None),
             )
 
         codec_name = joint.codec if joint is not None else "fp32"
@@ -396,6 +486,7 @@ class UserDevice:
                 device_cache_hit=device_cache_hit,
                 codec=codec_name, encode_s=encode_s,
                 chunks=getattr(result, "chunks", 1) or 1,
+                exit_index=exit_index,
             )
 
         return PendingOffload(
@@ -419,6 +510,8 @@ class UserDevice:
             chunks=len(chunk_sizes) if streamed else 1,
             wire_bytes=wire_bytes,
             arrivals=arrivals,
+            sla_s=self.sla_s,
+            exit_index=exit_index,
         )
 
     def _stream_arrivals(self, point: int, codec_name: str,
@@ -454,7 +547,7 @@ class UserDevice:
                        upload_s: float, overhead_s: float,
                        device_cache_hit: bool, server_s: float = 0.0,
                        codec: str = "fp32", encode_s: float = 0.0,
-                       chunks: int = 1,
+                       chunks: int = 1, exit_index: int | None = None,
                        ) -> InferenceRecord:
         """A request a non-resilient device can never finish (total = inf)."""
         return InferenceRecord(
@@ -477,6 +570,9 @@ class UserDevice:
             chunks=chunks,
             encode_s=encode_s,
             server_id=self.server.server_id,
+            sla_s=self.sla_s,
+            exit_index=exit_index,
+            met_sla=False if self.sla_s is not None else None,
         )
 
     def complete_inference(self, pending: PendingOffload, reply: OffloadReply,
@@ -508,11 +604,12 @@ class UserDevice:
                 server_s=reply.server_exec_s,
                 codec=pending.codec, encode_s=pending.encode_s,
                 chunks=pending.chunks,
+                exit_index=pending.exit_index,
             )
         download_s = result.elapsed_s
 
         if reply.tensors is not None:
-            out_name = self.engine.graph.output_name
+            out_name = self._engine_for(pending.exit_index).graph.output_name
             self.last_output = (
                 reply.tensors[out_name] if out_name in reply.tensors
                 else pending.head_outputs[out_name]  # output produced before the cut
@@ -551,6 +648,10 @@ class UserDevice:
             encode_s=pending.encode_s,
             decode_s=pending.decode_s,
             server_id=self.server.server_id,
+            sla_s=pending.sla_s,
+            exit_index=pending.exit_index,
+            met_sla=(total <= pending.sla_s
+                     if pending.sla_s is not None else None),
         )
 
     def fallback_record(self, request_id: int, start_s: float, now_s: float, *,
@@ -566,7 +667,7 @@ class UserDevice:
                                       force_local=True)
         assert isinstance(record, InferenceRecord)
         wasted = now_s - start_s
-        return replace(
+        return self._finalize_sla(replace(
             record,
             start_s=start_s,
             total_s=record.total_s + wasted,
@@ -574,7 +675,7 @@ class UserDevice:
             retries=retries,
             timeout_s=timeout_s,
             status=status,
-        )
+        ))
 
     def request_inference(self, now_s: float) -> InferenceRecord:
         """Run one end-to-end inference starting at ``now_s``."""
@@ -586,6 +687,7 @@ class UserDevice:
         reply = self.server.handle_offload(
             pending.arrive_s, pending.request_id, pending.partition_point,
             tensors=pending.transfers, arrivals=pending.arrivals,
+            exit_index=pending.exit_index,
         )
         if not isinstance(reply, OffloadReply):
             # Crashed (None) or shedding (BusyReply): a non-resilient device
@@ -596,6 +698,7 @@ class UserDevice:
                 device_s=pending.device_s, upload_s=pending.upload_s,
                 overhead_s=pending.overhead_s,
                 device_cache_hit=pending.device_cache_hit,
+                exit_index=pending.exit_index,
             )
         return self.complete_inference(pending, reply)
 
@@ -610,14 +713,19 @@ class UserDevice:
         rejected = False
         timeout_seen = 0.0
         request_id: int | None = None
+        sla = self.sla_s
 
         if not breaker.allow_offload(clock):
             record = self.begin_inference(clock, force_local=True)
             assert isinstance(record, InferenceRecord)
-            return replace(record, status="fallback_local")
+            return self._finalize_sla(replace(record, status="fallback_local"))
 
         while True:
-            pending = self.begin_inference(clock, request_id=request_id)
+            # Retries have already burned part of the class SLA; the
+            # attempt's decision and deadline run on what is left.
+            budget = None if sla is None else max(sla - (clock - now_s), 0.0)
+            pending = self.begin_inference(clock, request_id=request_id,
+                                           sla_budget_s=budget)
             if isinstance(pending, InferenceRecord):
                 # The decision itself chose local.  On the first attempt
                 # that is normal operation; after failures it is the
@@ -625,7 +733,7 @@ class UserDevice:
                 if retries == 0:
                     return pending
                 wasted = clock - now_s
-                return replace(
+                return self._finalize_sla(replace(
                     pending,
                     start_s=now_s,
                     total_s=pending.total_s + wasted,
@@ -633,7 +741,7 @@ class UserDevice:
                     retries=retries,
                     timeout_s=timeout_seen,
                     status="rejected" if rejected else "fallback_local",
-                )
+                ))
             request_id = pending.request_id
             timeout_seen = pending.timeout_s
 
@@ -645,6 +753,7 @@ class UserDevice:
                     pending.arrive_s, pending.request_id,
                     pending.partition_point, tensors=pending.transfers,
                     arrivals=pending.arrivals,
+                    exit_index=pending.exit_index,
                 )
                 if isinstance(reply, OffloadReply):
                     remaining = (pending.timeout_s - pending.upload_s
@@ -657,14 +766,14 @@ class UserDevice:
                             finish_s = pending.arrive_s + reply.server_exec_s
                             breaker.record_success(finish_s)
                             wasted = clock - now_s
-                            return replace(
+                            return self._finalize_sla(replace(
                                 record,
                                 start_s=now_s,
                                 total_s=record.total_s + wasted,
                                 wasted_s=wasted,
                                 retries=retries,
                                 status="retried" if retries else "ok",
-                            )
+                            ))
                     failed_at = pending.deadline_s
                 elif isinstance(reply, BusyReply):
                     # Fast shed: the rejection round-trips immediately; the
@@ -680,7 +789,11 @@ class UserDevice:
                 clock = failed_at
                 breaker.record_failure(clock)
 
-            if retries >= cfg.max_retries or not breaker.allow_offload(clock):
+            if (retries >= cfg.max_retries
+                    or not breaker.allow_offload(clock)
+                    # An exhausted SLA ends the retry loop: another attempt
+                    # cannot meet the deadline, only waste more latency.
+                    or (sla is not None and clock - now_s >= sla)):
                 return self.fallback_record(
                     request_id, now_s, clock, retries=retries,
                     timeout_s=timeout_seen,

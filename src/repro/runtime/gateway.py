@@ -44,7 +44,12 @@ from typing import Deque, Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.engine import FleetDecision, LoADPartEngine, ServerProfile
+from repro.core.engine import (
+    ExitDecision,
+    FleetDecision,
+    LoADPartEngine,
+    ServerProfile,
+)
 from repro.core.partition_algorithm import PartitionDecision
 from repro.network.channel import Channel, NetworkParams
 from repro.network.faults import FaultyChannel, ServerFaultPlan
@@ -109,9 +114,10 @@ class GatewayPort:
         self.server_id = server.server_id
 
     def handle_offload(self, now_s: float, request_id: int, point: int,
-                       tensors=None, arrivals=None):
+                       tensors=None, arrivals=None, exit_index=None):
         reply = self._server.handle_offload(
-            now_s, request_id, point, tensors=tensors, arrivals=arrivals)
+            now_s, request_id, point, tensors=tensors, arrivals=arrivals,
+            exit_index=exit_index)
         if reply is None:
             self._supervisor.note_failure(self.server_id, now_s)
         elif isinstance(reply, BusyReply):
@@ -326,6 +332,101 @@ class EdgeGateway:
         assert chosen is not None
         return sid, chosen
 
+    # -- SLA-aware routing -----------------------------------------------------
+
+    def _local_exit_decision(self, sla_s: float | None, bandwidth_up: float,
+                             k: float) -> Tuple[int, PartitionDecision, bool]:
+        """Local resolution of an SLA request: the exit rule over the
+        fully-local candidates of every exit (latest exit whose local time
+        meets the SLA, else the fastest local exit)."""
+        latencies: List[float] = []
+        pds: List[PartitionDecision] = []
+        for e in range(self.engine.num_exits):
+            eng = self.engine.exit_engine(e)
+            d = eng.decide(bandwidth_up, k=k)
+            n = eng.num_nodes
+            pds.append(PartitionDecision(
+                point=n, predicted_latency=float(d.candidates[n]),
+                candidates=d.candidates))
+            latencies.append(float(d.candidates[n]))
+        if sla_s is None:
+            return len(pds) - 1, pds[-1], True
+        e, feasible = self.engine._pick_exit(sla_s, latencies)
+        return e, pds[e], feasible
+
+    def route_exit(self, now_s: float, sla_s: float | None,
+                   bandwidth_fallback: float, k_fallback: float,
+                   exclude: Sequence[int] = (),
+                   ) -> Tuple[int | None, int, PartitionDecision, bool]:
+        """SLA-aware routing: the joint ``(exit, point, server)`` decision.
+
+        Mirrors :meth:`route` with the exit axis on top: one fleet scan per
+        exit sub-graph, then the engine's exit rule (latest SLA-feasible
+        exit, else the globally fastest).  Near-tie rotation happens
+        *within* the chosen exit's per-server scans, and — when the exit is
+        SLA-feasible — only among servers still predicted to meet the SLA,
+        so rotation never trades a met deadline for load spreading.
+        Returns ``(server_id | None, exit_index, decision, feasible)``.
+        """
+        sup = self.supervisor
+        for sid in self._ids:
+            sup.detect_restart(sid, now_s)
+        pool = [sid for sid in self._ids if sup.routable(sid)]
+        if not pool:
+            pool = list(sup.live_servers())
+        if not pool:
+            self.last_decision = None
+            return (None,) + self._local_exit_decision(
+                sla_s, bandwidth_fallback, k_fallback)
+        preferred = [sid for sid in pool if sid not in exclude] or pool
+        admitted = [sid for sid in preferred if self._has_room(sid, now_s)]
+        if not admitted:
+            admitted = [sid for sid in pool if self._has_room(sid, now_s)]
+        if not admitted:
+            self.rejected_count += 1
+            self.last_decision = None
+            return (None,) + self._local_exit_decision(
+                sla_s, bandwidth_fallback, k_fallback)
+
+        bandwidths = [
+            sup.bandwidth_for(sid, self._bandwidth_prior(i, bandwidth_fallback))
+            for i, sid in enumerate(self._ids)]
+        ks = [sup.k_for(sid, now_s, k_fallback) for sid in self._ids]
+        fd = self.engine.decide_exit_fleet(
+            sla_s, bandwidths, ks,
+            extra_latencies_s=self._extra_latencies(),
+            allowed=[self._index(sid) for sid in admitted],
+            profiles=self.profiles,
+        )
+        chosen_fleet = fd.decision
+        self.last_decision = chosen_fleet
+        n_e = self.engine.exit_engine(fd.exit_index).num_nodes
+        if chosen_fleet.server is None:
+            best = next((d for d in chosen_fleet.decisions if d is not None),
+                        None)
+            if best is None:
+                return (None,) + self._local_exit_decision(
+                    sla_s, bandwidth_fallback, k_fallback)
+            return None, fd.exit_index, PartitionDecision(
+                point=n_e,
+                predicted_latency=chosen_fleet.predicted_latency,
+                candidates=best.candidates), fd.feasible
+        band = chosen_fleet.predicted_latency * (
+            1.0 + self.config.rebalance_tolerance)
+        if sla_s is not None and fd.feasible:
+            band = min(band, sla_s)
+        ties = [i for i, d in enumerate(chosen_fleet.decisions)
+                if d is not None and d.point < n_e
+                and d.predicted_latency <= band]
+        index = self._pick_tied(ties, ks)
+        sid = self._ids[index]
+        if self.config.admission_limit is not None:
+            self._admitted[sid].append(now_s)
+        self.routed_counts[sid] += 1
+        chosen = chosen_fleet.decisions[index]
+        assert chosen is not None
+        return sid, fd.exit_index, chosen, fd.feasible
+
 
 class _GatewayPolicy:
     """DecisionPolicy adapter: ``decide`` asks the gateway to route.
@@ -341,6 +442,10 @@ class _GatewayPolicy:
 
     def decide(self, bandwidth_up: float, k: float = 1.0) -> PartitionDecision:
         return self._device._route_decide(bandwidth_up, k)
+
+    def decide_exit(self, sla_s: float | None, bandwidth_up: float,
+                    k: float = 1.0) -> ExitDecision:
+        return self._device._route_decide_exit(sla_s, bandwidth_up, k)
 
 
 class GatewayDevice(UserDevice):
@@ -358,12 +463,14 @@ class GatewayDevice(UserDevice):
         self._routed_server_id: int | None = None
 
     def begin_inference(self, now_s: float, *, request_id: int | None = None,
-                        force_local: bool = False):
+                        force_local: bool = False,
+                        sla_budget_s: float | None = None):
         self._now_s = now_s
         self._retrying = (request_id is not None
                           and request_id == self._routed_request_id)
         result = super().begin_inference(now_s, request_id=request_id,
-                                         force_local=force_local)
+                                         force_local=force_local,
+                                         sla_budget_s=sla_budget_s)
         if not force_local and not isinstance(result, InferenceRecord):
             self._routed_request_id = result.request_id
         return result
@@ -380,6 +487,30 @@ class GatewayDevice(UserDevice):
             self.channel = self.gateway.channels[index]
             self._routed_server_id = sid
         return decision
+
+    def _route_decide_exit(self, sla_s: float | None, bandwidth_up: float,
+                           k: float) -> ExitDecision:
+        exclude: Tuple[int, ...] = ()
+        if self._retrying and self._routed_server_id is not None:
+            exclude = (self._routed_server_id,)
+        sid, exit_index, decision, feasible = self.gateway.route_exit(
+            self._now_s, sla_s, bandwidth_up, k, exclude=exclude)
+        if sid is not None:
+            index = self.gateway._index(sid)
+            self.server = self.gateway.ports[index]
+            self.channel = self.gateway.channels[index]
+            self._routed_server_id = sid
+        return ExitDecision(
+            exit_index=exit_index,
+            point=decision.point,
+            predicted_latency=decision.predicted_latency,
+            accuracy=self.engine.exit_accuracy(
+                exit_index if self.engine.has_exits else None),
+            sla_s=sla_s,
+            feasible=feasible,
+            decision=decision,
+            decisions=(None,) * self.engine.num_exits,
+        )
 
 
 class GatewayFleetSystem:
@@ -492,6 +623,7 @@ class GatewayFleetSystem:
             raise ValueError("the fleet gateway requires policy='loadpart' "
                              "(the joint (point, server) scan)")
         self.clients: List[GatewayDevice] = []
+        sla_classes = self.config.sla_classes
         for i in range(num_clients):
             self.clients.append(GatewayDevice(
                 engine,
@@ -502,6 +634,8 @@ class GatewayFleetSystem:
                 model_seed=self.config.seed,
                 resilience=self.config.resilience,
                 parallelism=self.config.parallelism,
+                sla_s=(sla_classes[i % len(sla_classes)]
+                       if sla_classes else None),
             ))
         self.loop = EventLoop()
 

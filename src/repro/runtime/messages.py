@@ -40,6 +40,9 @@ class OffloadReply:
     #: upload; this field carries the busy time for load accounting.
     #: ``None`` means no overlap happened: busy time == ``server_exec_s``.
     gpu_busy_s: float | None = None
+    #: Early exit whose tail this reply executed; ``None`` means the full
+    #: network (exit-free request), matching every pre-exit record.
+    exit_index: int | None = None
     #: Tail-segment output tensors (producer name -> array) when the system
     #: runs in functional mode; None in pure-simulation runs.  Excluded from
     #: equality/repr so timing-level semantics are unchanged.
@@ -134,6 +137,13 @@ class InferenceRecord:
     #: resolved purely locally (no server involved).  The single-server
     #: runtime stamps 0, so fleet-routed and direct records compare equal.
     server_id: int | None = None
+    #: Per-request latency SLA this request carried (``None`` = no SLA;
+    #: every pre-exit record compares equal to the defaults below).
+    sla_s: float | None = None
+    #: Early exit the request was served at (``None`` = full network).
+    exit_index: int | None = None
+    #: ``total_s <= sla_s`` for SLA-carrying requests, ``None`` otherwise.
+    met_sla: bool | None = None
 
     @property
     def is_local(self) -> bool:

@@ -102,9 +102,10 @@ class SharedEdgeServer(EdgeServer):
         self.tracker = tracker
 
     def handle_offload(self, now_s: float, request_id: int, point: int,
-                       tensors=None, arrivals=None):
+                       tensors=None, arrivals=None, exit_index=None):
         reply = super().handle_offload(now_s, request_id, point,
-                                       tensors=tensors, arrivals=arrivals)
+                                       tensors=tensors, arrivals=arrivals,
+                                       exit_index=exit_index)
         # The executed tail occupies the shared GPU; later requests see it.
         # A crash (None) or rejection (BusyReply) executed nothing.  Under
         # arrival-gated streaming the exposed server time under-reports
@@ -115,8 +116,10 @@ class SharedEdgeServer(EdgeServer):
             self.tracker.record(now_s, busy)
         return reply
 
-    def handle_offload_batch(self, now_s, requests, point, batching):
-        replies = super().handle_offload_batch(now_s, requests, point, batching)
+    def handle_offload_batch(self, now_s, requests, point, batching,
+                             exit_index=None):
+        replies = super().handle_offload_batch(now_s, requests, point, batching,
+                                               exit_index=exit_index)
         if replies:
             # The GPU runs the batch once: busy time is the shared execution
             # time (queueing delay is waiting, not occupancy).
@@ -221,6 +224,22 @@ class FleetResult:
         records = [r for t in self.timelines for r in t if r.completed]
         return np.array([r.total_s for r in records])
 
+    def sla_attainment(self) -> float:
+        """Fraction of SLA-carrying requests (fleet-wide) that met their
+        deadline; NaN when no request carried an SLA."""
+        carrying = [r for t in self.timelines for r in t if r.sla_s is not None]
+        if not carrying:
+            return float("nan")
+        return sum(1 for r in carrying if r.met_sla) / len(carrying)
+
+    def exit_counts(self) -> dict:
+        """Fleet-wide histogram of served exits (``None`` = full network)."""
+        counts: dict = {}
+        for t in self.timelines:
+            for r in t:
+                counts[r.exit_index] = counts.get(r.exit_index, 0) + 1
+        return counts
+
     @property
     def local_requests(self) -> int:
         """Requests resolved with no server involved at all."""
@@ -279,6 +298,7 @@ class MultiClientSystem:
             self.channel = Channel(trace, NetworkParams())
         self.policy = self.config.policy
         self.clients: List[UserDevice] = []
+        sla_classes = self.config.sla_classes
         for i in range(num_clients):
             client_policy = OffloadingSystem._make_policy(self.config.policy, engine)
             self.clients.append(
@@ -294,6 +314,8 @@ class MultiClientSystem:
                     resilience=self.config.resilience,
                     parallelism=self.config.parallelism,
                     streaming=self.config.streaming,
+                    sla_s=(sla_classes[i % len(sla_classes)]
+                           if sla_classes else None),
                 )
             )
         self.loop = EventLoop()
@@ -391,6 +413,7 @@ class MultiClientSystem:
                     device_s=pending.device_s, upload_s=pending.upload_s,
                     overhead_s=pending.overhead_s,
                     device_cache_hit=pending.device_cache_hit,
+                    exit_index=pending.exit_index,
                 ))
                 return
             resolve_s = loop.now if status == "rejected" else max(
@@ -427,13 +450,18 @@ class MultiClientSystem:
                              lambda: arrive(idx, pending))
 
         def arrive(idx: int, pending) -> None:
-            point = pending.partition_point
+            # Requests co-batch only within one (exit, point) cell: tails of
+            # different exit graphs (or cut depths) cannot share a batched
+            # execution.  Exit-free requests key as exit -1, so mixed
+            # traffic keeps every queue key mutually sortable.
+            key = (-1 if pending.exit_index is None else pending.exit_index,
+                   pending.partition_point)
             if not self.server.available_at(loop.now):
                 fail_offload(idx, pending)
                 return
             sf = self.server.fault_plan
             if (sf is not None and sf.queue_limit is not None
-                    and batcher.queue_depth(point) >= sf.queue_limit):
+                    and batcher.queue_depth(key) >= sf.queue_limit):
                 # Admission control sheds the request before it queues.
                 self.server.rejected_count += 1
                 fail_offload(idx, pending, status="rejected")
@@ -444,19 +472,23 @@ class MultiClientSystem:
                 tensors=pending.transfers,
                 context=(idx, pending),
             )
-            flush_now, epoch = batcher.enqueue(point, request)
+            flush_now, epoch = batcher.enqueue(key, request)
             if flush_now:
-                flush(point)
-            elif batcher.queue_depth(point) == 1:
+                flush(key)
+            elif batcher.queue_depth(key) == 1:
                 # This request opened the queue: arm its window timer.
                 loop.schedule_at(loop.now + cfg.window_s,
-                                 lambda: flush(point, epoch))
+                                 lambda: flush(key, epoch))
 
-        def flush(point: int, epoch: int | None = None) -> None:
-            batch = batcher.take(point, epoch)
+        def flush(key: Tuple[int, int], epoch: int | None = None) -> None:
+            exit_key, point = key
+            batch = batcher.take(key, epoch)
             if not batch:
                 return
-            replies = self.server.handle_offload_batch(loop.now, batch, point, cfg)
+            replies = self.server.handle_offload_batch(
+                loop.now, batch, point, cfg,
+                exit_index=None if exit_key < 0 else exit_key,
+            )
             if replies is None:
                 # The server crashed between arrival and flush: the whole
                 # batch dies; each client resolves at its own deadline.

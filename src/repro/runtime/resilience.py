@@ -62,11 +62,25 @@ class ResilienceConfig:
         if self.k_ttl_s <= 0 or self.bandwidth_window_s <= 0:
             raise ValueError("k_ttl_s and bandwidth_window_s must be positive")
 
-    def timeout_for(self, predicted_total_s: float) -> float:
-        """Per-attempt deadline from the engine's own latency prediction."""
+    def timeout_for(self, predicted_total_s: float,
+                    sla_s: float | None = None) -> float:
+        """Per-attempt deadline from the engine's own latency prediction.
+
+        ``sla_s`` is the request's remaining SLA budget, honoured as a
+        *ceiling* on the margin-derived deadline: an attempt must never be
+        allowed to run past the point where the SLA is already lost (the
+        retry budget would overshoot it).  The ``min_timeout_s`` floor
+        still applies — a nearly-exhausted budget degrades to one short
+        attempt, not a zero-length one.
+        """
         if not math.isfinite(predicted_total_s) or predicted_total_s <= 0:
-            return self.min_timeout_s
-        return max(self.deadline_margin * predicted_total_s, self.min_timeout_s)
+            timeout = self.min_timeout_s
+        else:
+            timeout = max(self.deadline_margin * predicted_total_s,
+                          self.min_timeout_s)
+        if sla_s is not None:
+            timeout = max(min(timeout, sla_s), self.min_timeout_s)
+        return timeout
 
     def backoff_s(self, attempt: int, unit_jitter: float) -> float:
         """Delay before retry ``attempt`` (1-based); ``unit_jitter`` in [0, 1)."""

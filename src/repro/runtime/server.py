@@ -102,6 +102,62 @@ class EdgeServer:
         # build-once cache: one compile per key, all racers share it.
         self._graph_sig = graph_signature(engine.graph)
         self._tail_executors: CompileOnceCache = CompileOnceCache()
+        # Early-exit state, all lazy: per-exit partition caches, graph
+        # signatures and head parameters.  Requests without an exit index
+        # never touch any of it (the exit-free path is unchanged).
+        self._exit_caches: Dict[int, PartitionCache] = {}
+        self._exit_sigs: Dict[int, str] = {}
+        self._exit_params: Dict[int, Dict[str, np.ndarray]] = {}
+
+    # -- early exits -----------------------------------------------------------
+
+    def _engine_for(self, exit_index: int | None) -> LoADPartEngine:
+        if exit_index is None:
+            return self.engine
+        return self.engine.exit_engine(exit_index)
+
+    def _cache_for(self, exit_index: int | None) -> PartitionCache:
+        """Partition cache of one exit's graph (the backbone shares
+        :attr:`cache` with exit-free traffic — same graph, same cuts)."""
+        if exit_index is None or exit_index == self.engine.num_exits - 1:
+            return self.cache
+        cache = self._exit_caches.get(exit_index)
+        if cache is None:
+            cache = PartitionCache(GraphPartitioner(
+                self.engine.exit_engine(exit_index).graph))
+            self._exit_caches[exit_index] = cache
+        return cache
+
+    def _sig_for(self, exit_index: int | None) -> str:
+        if exit_index is None or exit_index == self.engine.num_exits - 1:
+            return self._graph_sig
+        sig = self._exit_sigs.get(exit_index)
+        if sig is None:
+            sig = graph_signature(self.engine.exit_engine(exit_index).graph)
+            self._exit_sigs[exit_index] = sig
+        return sig
+
+    def _params_for(self, exit_index: int | None) -> Dict[str, np.ndarray]:
+        """Model parameters of one exit's graph.
+
+        Backbone nodes are seeded per parameter *name*, so the shared
+        prefix of every exit graph carries bit-identical weights; only the
+        exit's own head adds new entries.
+        """
+        if exit_index is None or exit_index == self.engine.num_exits - 1:
+            return self.model_params
+        params = self._exit_params.get(exit_index)
+        if params is None:
+            with self._model_params_lock:
+                params = self._exit_params.get(exit_index)
+                if params is None:
+                    graph = self.engine.exit_engine(exit_index).graph
+                    params = init_parameters(
+                        (graph.node(n) for n in graph.topological_order()),
+                        self._model_seed,
+                    )
+                    self._exit_params[exit_index] = params
+        return params
 
     # -- functional execution --------------------------------------------------
 
@@ -118,10 +174,13 @@ class EdgeServer:
                     )
         return self._model_params
 
-    def _tail_executor(self, point: int, batch: int = 1) -> SegmentExecutor:
-        key = (self._graph_sig, point, batch)
+    def _tail_executor(self, point: int, batch: int = 1,
+                       exit_index: int | None = None) -> SegmentExecutor:
+        key = (self._sig_for(exit_index), point, batch)
+        cache = self._cache_for(exit_index)
+        params = self._params_for(exit_index)
         return self._tail_executors.get_or_create(key, lambda: SegmentExecutor(
-            self.cache.get(point).tail, params=self.model_params,
+            cache.get(point).tail, params=params,
             backend=self.backend, batch=batch, parallelism=self.parallelism,
         ))
 
@@ -135,17 +194,19 @@ class EdgeServer:
             for name, value in tensors.items()
         }
 
-    def _execute_tail(self, point: int, tensors: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    def _execute_tail(self, point: int, tensors: Dict[str, np.ndarray],
+                      exit_index: int | None = None) -> Dict[str, np.ndarray]:
         """Run the tail segment on the uploaded boundary tensors."""
-        partitioned = self.cache.get(point)
+        partitioned = self._cache_for(exit_index).get(point)
         if partitioned.tail.is_empty:
             return {}
         decoded = self._decode_boundary(tensors)
         boundary = {name: decoded[name] for name in partitioned.tail.boundary_inputs}
-        return self._tail_executor(point).run(boundary)
+        return self._tail_executor(point, exit_index=exit_index).run(boundary)
 
     def _execute_tail_batch(
         self, point: int, tensors_list: Sequence[Dict[str, np.ndarray]], padded: int,
+        exit_index: int | None = None,
     ) -> List[Dict[str, np.ndarray]]:
         """Run one ``padded``-sample batched tail over stacked boundaries.
 
@@ -159,10 +220,10 @@ class EdgeServer:
         runs them as 2-D (sample × chain) tasks on the shared pool —
         per-sample bit-identity makes that invisible in the replies.
         """
-        partitioned = self.cache.get(point)
+        partitioned = self._cache_for(exit_index).get(point)
         if partitioned.tail.is_empty:
             return [{} for _ in tensors_list]
-        executor = self._tail_executor(point, batch=padded)
+        executor = self._tail_executor(point, batch=padded, exit_index=exit_index)
         b = len(tensors_list)
         decoded_list = [self._decode_boundary(tensors) for tensors in tensors_list]
         boundary: Dict[str, np.ndarray] = {}
@@ -201,6 +262,8 @@ class EdgeServer:
         if restarts > self._restarts_seen:
             self._restarts_seen = restarts
             self.cache.clear()
+            for cache in self._exit_caches.values():
+                cache.clear()
             self.monitor.reset()
             self._admitted.clear()
 
@@ -222,6 +285,7 @@ class EdgeServer:
     def handle_offload(self, now_s: float, request_id: int, point: int,
                        tensors: Dict[str, np.ndarray] | None = None,
                        arrivals: Dict[str, float] | None = None,
+                       exit_index: int | None = None,
                        ) -> OffloadReply | BusyReply | None:
         """Execute the tail of partition ``point`` arriving at ``now_s``.
 
@@ -250,21 +314,23 @@ class EdgeServer:
         busy = self._admit(now_s, request_id)
         if busy is not None:
             return busy
-        cache_hit = point in self.cache
-        partitioned = self.cache.get(point)
+        engine = self._engine_for(exit_index)
+        cache = self._cache_for(exit_index)
+        cache_hit = point in cache
+        partitioned = cache.get(point)
         overhead = 0.0 if cache_hit else PARTITION_OVERHEAD_S
 
         result_tensors = (
-            self._execute_tail(point, tensors)
+            self._execute_tail(point, tensors, exit_index=exit_index)
             if self.functional and tensors is not None
             else None
         )
 
-        profiles = self.engine.tail_profiles(point)
+        profiles = engine.tail_profiles(point)
         kernel_times = self.gpu_model.sample_kernel_times(profiles, self._rng)
         level = self.load_schedule.level_at(now_s)
         gpu_busy_s: float | None = None
-        schedule = self.engine.release_schedule(point) if arrivals else ()
+        schedule = engine.release_schedule(point) if arrivals else ()
         if len(schedule) > 1:
             # Arrival-gated execution: split the kernel sequence at the
             # release gates; each segment starts at max(gate, previous
@@ -285,7 +351,7 @@ class EdgeServer:
         else:
             actual = self.scheduler.execute(kernel_times, level, self._rng)
 
-        predicted = self.engine.predicted_server_time(point, profile=self.profile)
+        predicted = engine.predicted_server_time(point, profile=self.profile)
         if predicted > 0:
             # k tracks compute slowdown, so it is fed GPU occupancy — the
             # exposed (overlap-credited) time would make a loaded server
@@ -303,6 +369,7 @@ class EdgeServer:
             partition_overhead_s=overhead,
             tensors=result_tensors,
             gpu_busy_s=gpu_busy_s,
+            exit_index=exit_index,
         )
 
     def handle_offload_batch(
@@ -311,6 +378,7 @@ class EdgeServer:
         requests: Sequence[PendingRequest],
         point: int,
         batching: BatchingConfig,
+        exit_index: int | None = None,
     ) -> List[OffloadReply] | None:
         """Execute one batched tail flush for ``requests`` at ``now_s``.
 
@@ -327,20 +395,23 @@ class EdgeServer:
         if not self.available_at(now_s):
             return None
         self._maybe_restart(now_s)
-        cache_hit = point in self.cache
-        partitioned = self.cache.get(point)
+        engine = self._engine_for(exit_index)
+        cache = self._cache_for(exit_index)
+        cache_hit = point in cache
+        partitioned = cache.get(point)
         overhead = 0.0 if cache_hit else PARTITION_OVERHEAD_S
 
         results: List[Dict[str, np.ndarray] | None]
         if self.functional and all(r.tensors is not None for r in requests):
             padded = batching.padded_size(len(requests))
             results = list(self._execute_tail_batch(
-                point, [r.tensors for r in requests], padded
+                point, [r.tensors for r in requests], padded,
+                exit_index=exit_index,
             ))
         else:
             results = [None] * len(requests)
 
-        profiles = self.engine.tail_profiles(point)
+        profiles = engine.tail_profiles(point)
         kernel_times = self.gpu_model.sample_kernel_times(profiles, self._rng)
         scale = batching.batch_time_scale(batching.padded_size(len(requests)))
         level = self.load_schedule.level_at(now_s)
@@ -348,7 +419,7 @@ class EdgeServer:
             [kt * scale for kt in kernel_times], level, self._rng
         )
 
-        predicted = self.engine.predicted_server_time(point, profile=self.profile)
+        predicted = engine.predicted_server_time(point, profile=self.profile)
         result_bytes = partitioned.tail.result_bytes if not partitioned.tail.is_empty else 0
         replies: List[OffloadReply] = []
         for i, request in enumerate(requests):
@@ -367,6 +438,7 @@ class EdgeServer:
                 tensors=results[i],
                 queue_s=queue_s,
                 batch_size=len(requests),
+                exit_index=exit_index,
             ))
         return replies
 

@@ -9,6 +9,7 @@ material of the Fig. 6/7/8/9 experiments.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, List
 
@@ -68,6 +69,12 @@ class SystemConfig:
     #: Requires the ``loadpart`` policy (the joint scan lives in the
     #: LoADPart engine).
     streaming: StreamingConfig | None = None
+    #: Opt-in per-request SLA classes: a tuple of latency deadlines in
+    #: seconds (``None`` entries = no SLA, full accuracy), assigned to
+    #: clients round-robin by client index.  Devices with an SLA run the
+    #: SLA-aware (exit, point) decision when the engine carries exit
+    #: branches.  ``None`` keeps the classic SLA-free runtime verbatim.
+    sla_classes: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -99,6 +106,21 @@ class SystemConfig:
                 raise ValueError(
                     "streaming requires policy='loadpart' (the joint "
                     f"(point, codec) scan); got policy={self.policy!r}")
+        if self.sla_classes is not None:
+            if (not isinstance(self.sla_classes, tuple)
+                    or not self.sla_classes):
+                raise ValueError("sla_classes must be a non-empty tuple or None")
+            for sla in self.sla_classes:
+                if sla is None:
+                    continue
+                if (not isinstance(sla, (int, float)) or not sla > 0
+                        or not math.isfinite(sla)):
+                    raise ValueError(
+                        f"sla_classes entries must be positive or None, got {sla!r}")
+            if self.streaming is not None:
+                raise ValueError(
+                    "sla_classes are incompatible with streaming uploads "
+                    "(the streamed joint decision has no exit axis)")
 
 
 class Timeline:
@@ -168,6 +190,23 @@ class Timeline:
             return float("nan")
         return sum(r.retries for r in self.records) / len(self.records)
 
+    # -- SLA summaries -------------------------------------------------------
+
+    def sla_attainment(self) -> float:
+        """Fraction of SLA-carrying requests that met their deadline
+        (NaN when no request carried an SLA)."""
+        carrying = [r for r in self.records if r.sla_s is not None]
+        if not carrying:
+            return float("nan")
+        return sum(1 for r in carrying if r.met_sla) / len(carrying)
+
+    def exit_counts(self) -> dict:
+        """Histogram of served exits (``None`` = full network)."""
+        counts: dict = {}
+        for r in self.records:
+            counts[r.exit_index] = counts.get(r.exit_index, 0) + 1
+        return counts
+
 
 class OffloadingSystem:
     """One device + one server + one link, runnable as a simulation."""
@@ -217,6 +256,8 @@ class OffloadingSystem:
             resilience=self.config.resilience,
             parallelism=self.config.parallelism,
             streaming=self.config.streaming,
+            sla_s=(self.config.sla_classes[0]
+                   if self.config.sla_classes else None),
         )
         self.loop = EventLoop()
 

@@ -749,3 +749,37 @@ class TestFleetSystemValidation:
             SupervisorConfig(probe_period_s=0.0)
         with pytest.raises(ValueError):
             SupervisorConfig(dead_after_misses=0)
+
+
+class TestExitFreeTrafficIdentity:
+    """An exit-carrying engine with no SLA classes is invisible.
+
+    ``SystemConfig(sla_classes=None)`` must keep the classic runtime
+    verbatim: swapping the plain squeezenet engine for the exit-carrying
+    one changes *no* record field — direct multi-client and a live
+    2-server gateway fleet alike, across the chaos matrix.
+    """
+
+    @pytest.mark.parametrize("label,config", IDENTITY_CONFIGS)
+    def test_direct_records_identical(self, engine_for, exit_engine_for,
+                                      label, config):
+        plain = MultiClientSystem(
+            engine_for("squeezenet"), 3, config=config).run(2.0)
+        exits = MultiClientSystem(
+            exit_engine_for("squeezenet"), 3, config=config).run(2.0)
+        assert len(plain.timelines) == len(exits.timelines)
+        for tp, te in zip(plain.timelines, exits.timelines):
+            assert tp.records == te.records
+        assert math.isnan(exits.sla_attainment())
+        assert set(exits.exit_counts()) == {None}
+
+    @pytest.mark.parametrize("label,config", IDENTITY_CONFIGS)
+    def test_gateway_records_identical(self, engine_for, exit_engine_for,
+                                       label, config):
+        plain = GatewayFleetSystem(
+            engine_for("squeezenet"), 3, num_servers=2, config=config).run(2.0)
+        exits = GatewayFleetSystem(
+            exit_engine_for("squeezenet"), 3, num_servers=2,
+            config=config).run(2.0)
+        for tp, te in zip(plain.timelines, exits.timelines):
+            assert tp.records == te.records

@@ -40,18 +40,20 @@ ZERO_FAULTS = FaultPlan(seed=5)
 
 
 def run_fleet(engine, *, batching=None, parallelism=None, resilience=None,
-              faults=None, streaming=None, seed=7):
+              faults=None, streaming=None, sla_classes=None, seed=7):
     """One fleet run → (per-timeline record signatures, client outputs)."""
     config = SystemConfig(
         seed=seed, policy="loadpart", functional=True, backend="planned",
         batching=batching, parallelism=parallelism,
         resilience=resilience, faults=faults, streaming=streaming,
+        sla_classes=sla_classes,
     )
     system = MultiClientSystem(engine, CLIENTS, config=config)
     result = system.run(DURATION_S)
     signature = tuple(
         tuple((r.request_id, r.partition_point, r.status, r.retries,
-               r.batch_size, r.total_s) for r in timeline)
+               r.batch_size, r.total_s, r.sla_s, r.exit_index, r.met_sla)
+              for r in timeline)
         for timeline in result.timelines
     )
     outputs = tuple(
@@ -111,7 +113,8 @@ class TestInteractionMatrix:
         if resilience is not None:
             assert result.availability == 1.0
             for timeline in signature:
-                for (_rid, _point, status, _retries, _bs, total_s) in timeline:
+                for (_rid, _point, status, _retries, _bs, total_s,
+                     _sla, _exit, _met) in timeline:
                     assert status != "failed"
                     assert total_s != float("inf")
 
@@ -207,3 +210,70 @@ class TestSeedDeterminism:
             faults=FaultPlan(drop_prob=0.9, seed=77), seed=11,
         )[1]
         assert base != other
+
+
+#: Mixed SLA traffic, assigned round-robin: a strict class that forces
+#: the exit axis, an SLA-free client (classic path), and a slack class
+#: that keeps full accuracy.
+SLA_MIX = (0.02, None, 0.5)
+
+
+@pytest.mark.parametrize("resilience", [None, ResilienceConfig()],
+                         ids=["trusting", "resilient"])
+@pytest.mark.parametrize("batching", [None, BatchingConfig(window_s=0.004)],
+                         ids=["unbatched", "batched"])
+class TestSlaInteractions:
+    """Mixed strict/slack SLA × {batching} × {threads 1/2} × {resilience}
+    × {faults}: fleets complete with sane ``sla_s``/``exit_index``/
+    ``met_sla`` stamps, and runs are seed-reproducible."""
+
+    def test_mixed_sla_matrix_completes_with_sane_stamps(
+            self, exit_engine_for, batching, resilience):
+        engine = exit_engine_for("squeezenet")
+        for threads in (1, 2):
+            for faults in (None, ACTIVE_FAULTS):
+                result, _, _ = run_fleet(
+                    engine, batching=batching, resilience=resilience,
+                    faults=faults, parallelism=ParallelConfig(threads=threads),
+                    sla_classes=SLA_MIX)
+                assert result.total_requests > 0
+                assert len(result.timelines) == CLIENTS
+                for i, timeline in enumerate(result.timelines):
+                    expected_sla = SLA_MIX[i % len(SLA_MIX)]
+                    for r in timeline:
+                        assert r.status in STATUSES
+                        assert r.sla_s == expected_sla
+                        assert (r.exit_index is None
+                                or 0 <= r.exit_index < engine.num_exits)
+                        if expected_sla is None:
+                            # The classic path, untouched: no exit axis,
+                            # no attainment stamp.
+                            assert r.met_sla is None
+                            assert r.exit_index is None
+                        else:
+                            assert r.met_sla == (
+                                r.completed and r.total_s <= r.sla_s)
+                if faults is None:
+                    # Fault-free, every SLA request ran the (exit, point)
+                    # decision: the strict class trades accuracy (early
+                    # exits), the slack class keeps the full network.
+                    strict, free, slack = result.timelines[:3]
+                    assert all(r.exit_index is not None for r in strict)
+                    assert any(r.exit_index < engine.num_exits - 1
+                               for r in strict)
+                    assert any(r.exit_index == engine.num_exits - 1
+                               for r in slack)
+                    attainment = result.sla_attainment()
+                    assert 0.0 <= attainment <= 1.0
+
+    def test_mixed_sla_fleet_reproducible(self, exit_engine_for, batching,
+                                          resilience):
+        engine = exit_engine_for("squeezenet")
+        kwargs = dict(batching=batching, resilience=resilience,
+                      faults=ACTIVE_FAULTS,
+                      parallelism=ParallelConfig(threads=2),
+                      sla_classes=SLA_MIX)
+        _, sig_a, out_a = run_fleet(engine, **kwargs)
+        _, sig_b, out_b = run_fleet(engine, **kwargs)
+        assert sig_a == sig_b
+        assert out_a == out_b

@@ -181,3 +181,74 @@ class TestHelpers:
         via_engine = alexnet_engine.decide(8e6, k=3.0)
         assert direct.point == via_engine.point
         np.testing.assert_allclose(direct.candidates, via_engine.candidates)
+
+
+class TestDecideExitPins:
+    """Deterministic (exit, point) pins on the profiled squeezenet exits."""
+
+    def test_sla_none_is_decide_bitwise(self, squeezenet_exit_engine):
+        eng = squeezenet_exit_engine
+        plain = eng.decide(8e6, k=3.0)
+        ed = eng.decide_exit(None, 8e6, k=3.0)
+        assert ed.exit_index == eng.num_exits - 1
+        assert ed.feasible is True
+        assert ed.point == plain.point
+        assert ed.predicted_latency == plain.predicted_latency
+        assert np.array_equal(ed.decision.candidates, plain.candidates)
+        assert ed.decisions[:-1] == (None,) * (eng.num_exits - 1)
+
+    def test_generous_sla_keeps_full_accuracy(self, squeezenet_exit_engine):
+        eng = squeezenet_exit_engine
+        plain = eng.decide(8e6, k=1.0)
+        ed = eng.decide_exit(60.0, 8e6, k=1.0)
+        assert ed.exit_index == eng.num_exits - 1
+        assert ed.feasible is True
+        assert ed.accuracy == eng.exit_accuracy()
+        assert ed.point == plain.point
+        assert ed.predicted_latency == plain.predicted_latency
+
+    def test_impossible_sla_falls_back_to_fastest(self, squeezenet_exit_engine):
+        eng = squeezenet_exit_engine
+        ed = eng.decide_exit(1e-9, 8e6, k=1.0)
+        assert ed.feasible is False
+        latencies = [d.predicted_latency for d in ed.decisions]
+        assert ed.predicted_latency == min(latencies)
+        assert ed.exit_index == latencies.index(min(latencies))
+
+    def test_tight_sla_trades_accuracy_for_latency(self, squeezenet_exit_engine):
+        eng = squeezenet_exit_engine
+        full = eng.decide(8e6, k=1.0).predicted_latency
+        fastest = min(
+            eng.exit_engine(e).decide(8e6, k=1.0).predicted_latency
+            for e in range(eng.num_exits))
+        assert fastest < full  # early exits genuinely cheaper
+        sla = (fastest + full) / 2
+        ed = eng.decide_exit(sla, 8e6, k=1.0)
+        assert ed.feasible is True
+        assert ed.exit_index < eng.num_exits - 1
+        assert ed.predicted_latency <= sla
+        assert ed.accuracy < eng.exit_accuracy()
+        # Latest feasible: every later exit misses the deadline.
+        for e in range(ed.exit_index + 1, eng.num_exits):
+            assert ed.decisions[e].predicted_latency > sla
+
+    def test_accuracy_monotone_over_sla_grid(self, squeezenet_exit_engine):
+        eng = squeezenet_exit_engine
+        grid = [0.001, 0.01, 0.05, 0.1, 0.5, 2.0, 60.0]
+        accs = [eng.decide_exit(s, 8e6, k=1.0).accuracy for s in grid]
+        assert accs == sorted(accs)
+
+    def test_invalid_sla_rejected(self, squeezenet_exit_engine):
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="sla_s"):
+                squeezenet_exit_engine.decide_exit(bad, 8e6)
+
+    def test_exit_free_engine_decide_exit_is_decide(self, alexnet_engine):
+        eng = alexnet_engine
+        plain = eng.decide(8e6, k=2.0)
+        for sla in (None, 0.05, 100.0):
+            ed = eng.decide_exit(sla, 8e6, k=2.0)
+            assert ed.exit_index == 0
+            assert ed.point == plain.point
+            assert ed.predicted_latency == plain.predicted_latency
+            assert ed.accuracy == 1.0

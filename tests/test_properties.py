@@ -309,6 +309,182 @@ class _TimesPredictor:
         return self._times.copy()
 
 
+class _GeometryPredictor:
+    """Duck-typed predictor keyed on node *geometry*, not position.
+
+    Exit sub-graphs share their backbone prefix but differ in length, so a
+    positional times table cannot serve every exit engine.  Hashing each
+    profile's geometry yields deterministic per-node times that are
+    automatically consistent across all sub-graphs containing the node.
+    """
+
+    def __init__(self, side, seed, unit_s):
+        self.side = side
+        self._seed = int(seed)
+        self._unit_s = float(unit_s)
+
+    def _time(self, p):
+        import zlib
+        key = repr((self.side, self._seed, p.op, p.flops,
+                    p.c_in, p.c_out, p.h_out, p.w_out))
+        h = zlib.crc32(key.encode())
+        return ((h % 1000) + 1) * self._unit_s
+
+    def predict_nodes(self, profiles):
+        return np.array([self._time(p) for p in profiles], dtype=np.float64)
+
+
+@st.composite
+def random_exit_engine(draw):
+    """A random DAG engine carrying 0-3 random early-exit branches.
+
+    Returns ``(engine, edge_predictor)`` — the predictor rides along for
+    fleet tests that wrap it in per-server :class:`ScaledPredictor`\\ s.
+    """
+    from repro.core.engine import LoADPartEngine
+    from repro.graph.exits import ExitSpec, build_exit_branches
+
+    graph = draw(random_dag())
+    seed = draw(st.integers(0, 2**31))
+    order = graph.topological_order()
+    num_specs = draw(st.integers(0, min(3, len(order))))
+    positions = draw(st.lists(
+        st.integers(0, len(order) - 1),
+        min_size=num_specs, max_size=num_specs, unique=True))
+    accs = sorted(draw(st.lists(
+        st.floats(0.3, 0.69), min_size=num_specs, max_size=num_specs)))
+    specs = [ExitSpec(attach=order[pos], accuracy=acc)
+             for pos, acc in zip(sorted(positions), accs)]
+    user = _GeometryPredictor("device", seed, 1e-3)
+    edge = _GeometryPredictor("edge", seed, 1e-5)
+    if not specs:
+        return LoADPartEngine(graph, user, edge), edge
+    branches = build_exit_branches(graph, specs, final_accuracy=0.7,
+                                   num_classes=8)
+    return LoADPartEngine(graph, user, edge, exits=branches), edge
+
+
+class TestExitDifferential:
+    """``decide_exit`` vs the exhaustive ``(exit, point)`` reference.
+
+    Every random scenario draws a DAG, a random exit-branch set (possibly
+    empty), a bandwidth, a load factor and an SLA (possibly ``None``),
+    then demands *bitwise* agreement — exit index, partition point,
+    feasibility, predicted latency, accuracy, and every per-exit
+    candidate vector — between the one-pass-per-exit scan and the scalar
+    brute-force enumeration, including the no-feasible-exit fallback and
+    the ``point == n`` local edge.
+    """
+
+    @given(data=st.data(), setup=random_exit_engine())
+    @settings(max_examples=40, deadline=None)
+    def test_exit_scan_matches_brute_force(self, data, setup):
+        from repro.core.engine import exit_brute_force
+
+        engine, _ = setup
+
+        bw = data.draw(st.floats(1e5, 1e8), label="bw")
+        k = data.draw(st.floats(1.0, 50.0), label="k")
+        sla = data.draw(
+            st.one_of(st.none(), st.floats(1e-6, 10.0)), label="sla")
+        offload_only = data.draw(st.booleans(), label="offload_only")
+
+        got = engine.decide_exit(sla, bw, k=k, offload_only=offload_only)
+        ref = exit_brute_force(engine, sla, bw, k=k,
+                               offload_only=offload_only)
+
+        assert got.exit_index == ref.exit_index
+        assert got.feasible == ref.feasible
+        assert got.point == ref.point
+        assert got.predicted_latency == ref.predicted_latency  # bitwise
+        assert got.accuracy == ref.accuracy
+        assert got.sla_s == ref.sla_s
+        assert len(got.decisions) == len(ref.decisions) == engine.num_exits
+        for dg, dr in zip(got.decisions, ref.decisions):
+            if dg is None:
+                assert dr is None
+                continue
+            assert dg.point == dr.point
+            assert dg.predicted_latency == dr.predicted_latency
+            assert np.array_equal(dg.candidates, dr.candidates)
+
+    @given(data=st.data(), setup=random_exit_engine())
+    @settings(max_examples=25, deadline=None)
+    def test_exit_fleet_scan_matches_brute_force(self, data, setup):
+        from repro.core.engine import ServerProfile, exit_fleet_brute_force
+        from repro.profiling.predictor import ScaledPredictor
+
+        engine, edge_base = setup
+        num = data.draw(st.integers(1, 3), label="num_servers")
+        profiles, bandwidths, ks = [], [], []
+        for s in range(num):
+            scale = data.draw(
+                st.one_of(st.none(), st.floats(0.25, 4.0)), label=f"scale{s}")
+            profiles.append(ServerProfile(
+                edge_predictor=(None if scale is None else ScaledPredictor(
+                    edge_base, scale)),
+                extra_latency_s=data.draw(st.floats(0.0, 0.05),
+                                          label=f"extra{s}"),
+            ))
+            bandwidths.append(data.draw(st.floats(1e5, 1e8), label=f"bw{s}"))
+            ks.append(data.draw(st.floats(1.0, 50.0), label=f"k{s}"))
+        sla = data.draw(
+            st.one_of(st.none(), st.floats(1e-6, 10.0)), label="sla")
+
+        got = engine.decide_exit_fleet(sla, bandwidths, ks, profiles=profiles)
+        ref = exit_fleet_brute_force(engine, sla, bandwidths, ks,
+                                     profiles=profiles)
+
+        assert got.exit_index == ref.exit_index
+        assert got.feasible == ref.feasible
+        assert got.point == ref.point
+        assert got.server == ref.server
+        assert got.predicted_latency == ref.predicted_latency  # bitwise
+        assert got.accuracy == ref.accuracy
+        for fg, fr in zip(got.decisions, ref.decisions):
+            if fg is None:
+                assert fr is None
+                continue
+            assert fg.point == fr.point
+            assert fg.server == fr.server
+            assert fg.predicted_latency == fr.predicted_latency
+
+    @given(data=st.data(), setup=random_exit_engine())
+    @settings(max_examples=30, deadline=None)
+    def test_sla_monotonicity(self, data, setup):
+        """A looser SLA never loses accuracy, and feasibility is monotone:
+        the feasible set only grows as the deadline relaxes."""
+        engine, _ = setup
+        bw = data.draw(st.floats(1e5, 1e8), label="bw")
+        k = data.draw(st.floats(1.0, 50.0), label="k")
+        s1 = data.draw(st.floats(1e-6, 10.0), label="sla1")
+        s2 = data.draw(st.floats(1e-6, 10.0), label="sla2")
+        tight, loose = min(s1, s2), max(s1, s2)
+        d_tight = engine.decide_exit(tight, bw, k=k)
+        d_loose = engine.decide_exit(loose, bw, k=k)
+        assert d_tight.accuracy <= d_loose.accuracy
+        if d_tight.feasible:
+            assert d_loose.feasible
+            assert d_tight.exit_index <= d_loose.exit_index
+
+    @given(data=st.data(), setup=random_exit_engine())
+    @settings(max_examples=30, deadline=None)
+    def test_sla_none_is_the_plain_scan(self, data, setup):
+        """``sla_s=None`` reproduces ``decide()`` bit-for-bit: final exit,
+        same point, same latency, same candidate vector."""
+        engine, _ = setup
+        bw = data.draw(st.floats(1e5, 1e8), label="bw")
+        k = data.draw(st.floats(1.0, 50.0), label="k")
+        plain = engine.decide(bw, k=k)
+        ed = engine.decide_exit(None, bw, k=k)
+        assert ed.exit_index == engine.num_exits - 1
+        assert ed.feasible is True
+        assert ed.point == plain.point
+        assert ed.predicted_latency == plain.predicted_latency
+        assert np.array_equal(ed.decision.candidates, plain.candidates)
+        assert all(d is None for d in ed.decisions[:-1])
+
+
 class TestFleetDifferential:
     """``decide_fleet`` vs the exhaustive heterogeneous reference.
 

@@ -249,3 +249,54 @@ class TestStaleLoadFactor:
                                  resilience=ResilienceConfig())
         # The 5 s profiler period keeps k fresh under the 30 s TTL.
         assert system.device._k_time_s >= 5.0
+
+
+class TestSlaDeadlineCeiling:
+    """A request's SLA caps the retry budget: the margin-derived attempt
+    deadline must never run past the point where the deadline is already
+    lost (regression: the retry loop used to overshoot tight SLAs by
+    ``margin x predicted x retries``)."""
+
+    CRASH = ServerFaultPlan(crash_windows=((1.0, 5.0),))
+
+    def test_timeout_for_honours_sla_ceiling(self):
+        cfg = ResilienceConfig(deadline_margin=10.0, min_timeout_s=0.05)
+        assert cfg.timeout_for(0.1) == pytest.approx(1.0)
+        assert cfg.timeout_for(0.1, sla_s=0.3) == pytest.approx(0.3)
+        assert cfg.timeout_for(0.1, sla_s=5.0) == pytest.approx(1.0)
+        # A nearly-exhausted budget degrades to one short attempt, not a
+        # zero-length one: the floor still applies.
+        assert cfg.timeout_for(0.1, sla_s=0.001) == 0.05
+
+    def _run(self, engine, sla_classes):
+        system = OffloadingSystem(engine, config=SystemConfig(
+            seed=7, server_faults=self.CRASH, sla_classes=sla_classes,
+            resilience=ResilienceConfig(deadline_margin=10.0, max_retries=2)))
+        return system.run(8.0)
+
+    def test_sla_bounds_wasted_time_during_crash(self, squeezenet_engine):
+        sla = 0.3
+        with_sla = self._run(squeezenet_engine, (sla,))
+        plain = self._run(squeezenet_engine, None)
+        sla_failed = [r for r in with_sla if r.wasted_s > 0]
+        plain_failed = [r for r in plain if r.wasted_s > 0]
+        assert sla_failed and plain_failed
+        for r in sla_failed:
+            # The attempt deadline was capped at the SLA ...
+            assert r.timeout_s <= sla + 1e-9
+            # ... and the exhausted budget ended the loop: no retry can
+            # meet a deadline that is already lost.
+            assert r.retries == 0
+            assert r.met_sla is False
+        # Without the ceiling the same crash burns margin x predicted per
+        # attempt, times the full retry budget.
+        assert max(r.retries for r in plain_failed) == 2
+        assert max(r.wasted_s for r in sla_failed) < min(
+            r.wasted_s for r in plain_failed)
+
+    def test_sla_run_is_deterministic(self, squeezenet_engine):
+        a = self._run(squeezenet_engine, (0.3, 0.05))
+        b = self._run(squeezenet_engine, (0.3, 0.05))
+        assert list(a) == list(b)
+        attainment = a.sla_attainment()
+        assert 0.0 < attainment < 1.0  # crash window misses, healthy meets

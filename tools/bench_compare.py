@@ -178,6 +178,56 @@ def compare_fleet(baseline: dict, candidate: dict,
     return regressions
 
 
+def compare_exits(baseline: dict, candidate: dict,
+                  threshold: float) -> list[str]:
+    """Gate the early-exit report on the candidate's own numbers.
+
+    Four hard gates, all host-speed-free (the timeline is simulated):
+    under strict deadlines the exit-carrying engine must strictly beat
+    the full-network-only arm on SLA attainment, the slack class must
+    lose no attainment and must keep the full network's accuracy (its
+    worst-served exit is the final one), and the exit-free degenerate
+    cell must have stayed record-identical to the plain engine.  The
+    baseline is printed for side-by-side context only.
+    """
+    regressions: list[str] = []
+    bfs = baseline["full_strict_attainment"]
+    bes = baseline["exits_strict_attainment"]
+    cfs = candidate["full_strict_attainment"]
+    ces = candidate["exits_strict_attainment"]
+    print(f"strict attainment: full-net {bfs:.3f} -> {cfs:.3f}  "
+          f"exits {bes:.3f} -> {ces:.3f}")
+    print(f"slack attainment:  full-net "
+          f"{baseline['full_slack_attainment']:.3f} -> "
+          f"{candidate['full_slack_attainment']:.3f}  exits "
+          f"{baseline['exits_slack_attainment']:.3f} -> "
+          f"{candidate['exits_slack_attainment']:.3f}")
+    print(f"slack min accuracy {baseline['exits_slack_min_accuracy']} -> "
+          f"{candidate['exits_slack_min_accuracy']} "
+          f"(full net {candidate['full_net_accuracy']})")
+    print(f"degenerate identical: {baseline['degenerate_identical']} -> "
+          f"{candidate['degenerate_identical']}")
+    if ces <= cfs:
+        regressions.append(
+            f"exits strict attainment {ces:.4f} <= full-net-only "
+            f"{cfs:.4f} (the exit axis bought no deadline attainment)")
+    if candidate["exits_slack_attainment"] < candidate["full_slack_attainment"]:
+        regressions.append(
+            f"slack attainment {candidate['exits_slack_attainment']:.4f} "
+            f"with exits < {candidate['full_slack_attainment']:.4f} without "
+            "(exits cost the slack class deadlines)")
+    if candidate["exits_slack_min_accuracy"] < candidate["full_net_accuracy"]:
+        regressions.append(
+            f"slack class served below full accuracy "
+            f"({candidate['exits_slack_min_accuracy']} < "
+            f"{candidate['full_net_accuracy']}): a slack request was "
+            "degraded to an early exit it did not need")
+    if not candidate["degenerate_identical"]:
+        regressions.append(
+            "exit-free degenerate cell diverged from the plain engine")
+    return regressions
+
+
 def compare_parallel(baseline: dict, candidate: dict,
                      threshold: float) -> list[str]:
     """Gate chain-parallel execution on the candidate's own report.
@@ -390,7 +440,7 @@ def main(argv=None) -> int:
     baseline = load(args.baseline)
     candidate = load(args.candidate)
     for kind in ("resilience", "parallel_chains", "parallel_samples",
-                 "streaming", "fleet"):
+                 "streaming", "fleet", "exits"):
         if (baseline.get("benchmark") == kind) != (candidate.get("benchmark") == kind):
             raise SystemExit(f"cannot compare a {kind} report against "
                              "a different benchmark type")
@@ -405,6 +455,8 @@ def main(argv=None) -> int:
         regressions = compare_streaming(baseline, candidate, args.threshold)
     elif baseline.get("benchmark") == "fleet":
         regressions = compare_fleet(baseline, candidate, args.threshold)
+    elif baseline.get("benchmark") == "exits":
+        regressions = compare_exits(baseline, candidate, args.threshold)
     else:
         regressions = compare(baseline, candidate,
                               args.threshold, metric=args.metric)
